@@ -1,0 +1,116 @@
+//! `scalefold` — command-line front end for the reproduction.
+//!
+//! ```text
+//! scalefold train [STEPS]            real CPU training on the tiny model
+//! scalefold simulate [DAP]           simulated cluster step time at DAP-n
+//! scalefold memory [DAP]             per-rank memory footprint at DAP-n
+//! scalefold ladder                   the Figure-8 optimization ladder
+//! scalefold figures                  every table/figure reproduction
+//! ```
+
+use scalefold::{experiments, ladder_stages, OptimizationSet, Trainer, TrainerConfig};
+use sf_cluster::{ClusterConfig, ClusterSim, StragglerModel};
+use sf_model::ModelConfig;
+use sf_opgraph::memory;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "train" => train(parse_num(&args, 1, 20)),
+        "simulate" => simulate(parse_num(&args, 1, 8) as usize),
+        "memory" => memory_report(parse_num(&args, 1, 8) as usize),
+        "ladder" => ladder(),
+        "figures" => figures(),
+        _ => help(),
+    }
+}
+
+fn parse_num(args: &[String], idx: usize, default: u64) -> u64 {
+    args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn help() {
+    println!("scalefold — a Rust reproduction of 'ScaleFold: Reducing AlphaFold");
+    println!("Initial Training Time to 10 Hours' (DAC 2024)\n");
+    println!("usage: scalefold <command> [arg]\n");
+    println!("  train [STEPS=20]    real CPU training of the tiny AlphaFold");
+    println!("  simulate [DAP=8]    simulated H100 cluster step time at DAP-n");
+    println!("  memory [DAP=8]      per-rank memory footprint at DAP-n");
+    println!("  ladder              the Figure-8 optimization ladder");
+    println!("  figures             regenerate every table/figure");
+}
+
+fn train(steps: u64) {
+    let mut cfg = TrainerConfig::tiny();
+    cfg.model.evoformer_blocks = 1;
+    cfg.model.extra_msa_blocks = 0;
+    println!("training the tiny AlphaFold for {steps} steps...");
+    let mut trainer = Trainer::new(cfg);
+    for r in trainer.train(steps) {
+        println!(
+            "  step {:>4}  loss {:>8.4}  lDDT-Ca {:.3}  lr {:.2e}",
+            r.step, r.loss, r.lddt, r.lr
+        );
+    }
+    println!("eval (SWA weights): lDDT-Ca {:.3}", trainer.evaluate(3));
+}
+
+fn simulate(dap: usize) {
+    let cfg = ModelConfig::paper();
+    println!("simulating H100 cluster step time (DP 128 x DAP-{dap})...");
+    for (label, opts) in [
+        ("reference", OptimizationSet::none()),
+        ("ScaleFold", OptimizationSet::scalefold_dap(dap.max(1))),
+    ] {
+        let graph = scalefold::build_graph(&cfg, &opts);
+        let mut cc = ClusterConfig::eos(128, opts.dap);
+        cc.cuda_graph = opts.cuda_graph;
+        cc.bf16_comm = opts.bf16;
+        cc.autotune = opts.triton_ln;
+        cc.straggler = if opts.nonblocking_loader {
+            StragglerModel::optimized()
+        } else {
+            StragglerModel::baseline()
+        };
+        let t = ClusterSim::new(&graph, cc).mean_step_s(40);
+        println!("  {label:<10} {t:>7.3} s/step");
+    }
+}
+
+fn memory_report(dap: usize) {
+    let cfg = ModelConfig::paper();
+    let dev = sf_gpusim::DeviceSpec::h100();
+    println!("per-rank memory at paper scale, DAP-{dap} (H100, 80 GiB):");
+    for (label, ckpt, bf16) in [
+        ("fp32, no checkpointing", false, false),
+        ("bf16, no checkpointing", false, true),
+        ("bf16, checkpointing", true, true),
+    ] {
+        let f = memory::estimate(&cfg, dap.max(1), ckpt, bf16);
+        println!(
+            "  {label:<26} {:>7.1} GiB  ({})",
+            f.total_gib(),
+            if f.fits(&dev) { "fits" } else { "DOES NOT FIT" }
+        );
+    }
+}
+
+fn ladder() {
+    for e in ladder_stages(&ModelConfig::paper()) {
+        println!(
+            "{:<36} A100 {:>6.2}s ({:>5.2}x)  H100 {:>6.2}s ({:>5.2}x)",
+            e.name, e.a100_step_s, e.a100_speedup, e.h100_step_s, e.h100_speedup
+        );
+    }
+}
+
+fn figures() {
+    println!("{}", experiments::table1());
+    println!("{}", experiments::fig3());
+    println!("{}", experiments::fig4(2000));
+    println!("{}", experiments::fig7());
+    println!("{}", experiments::fig8());
+    println!("{}", experiments::fig9_fig10());
+    println!("{}", experiments::fig11());
+}

@@ -1,0 +1,291 @@
+//! Training-dynamics model: `avg_lddt_ca` as a function of samples seen,
+//! calibrated to the paper's stated milestones:
+//!
+//! - from scratch, global batch 128: lDDT-Cα ≥ 0.8 within the first 5000
+//!   steps (= 640k samples);
+//! - continuing at global batch 256: lDDT-Cα reaches 0.9 between 50k and
+//!   60k total steps (≈ 12–15M samples);
+//! - the batch size cannot exceed 256, "otherwise it would fail to
+//!   converge" — the hard DP limit motivating DAP.
+//!
+//! The curve is a saturating power law `L(n) = L∞ − (L∞ − L0)·(1 + n/k)^−β`
+//! fit to those milestones. This is a *substitution* for the real 10M-sample
+//! training run (documented in DESIGN.md); the real (tiny-scale) learning
+//! dynamics are exercised by [`crate::trainer`].
+
+use serde::{Deserialize, Serialize};
+
+/// The AlphaFold convergence-dynamics model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceModel {
+    /// Asymptotic lDDT-Cα.
+    pub l_inf: f64,
+    /// Initial (untrained) lDDT-Cα.
+    pub l_0: f64,
+    /// Sample-count scale, in samples.
+    pub k: f64,
+    /// Power-law exponent.
+    pub beta: f64,
+    /// Largest global batch size that still converges.
+    pub max_batch: usize,
+}
+
+impl Default for ConvergenceModel {
+    fn default() -> Self {
+        // Fit: L(640k) = 0.800, L(12.8M) = 0.901 (see module docs).
+        ConvergenceModel {
+            l_inf: 0.94,
+            l_0: 0.30,
+            k: 20_000.0,
+            beta: 0.434,
+            max_batch: 256,
+        }
+    }
+}
+
+impl ConvergenceModel {
+    /// Expected lDDT-Cα after seeing `samples` training samples, or `None`
+    /// if the batch size is over the convergence limit.
+    pub fn lddt_at(&self, samples: f64, batch: usize) -> Option<f64> {
+        if batch > self.max_batch {
+            return None;
+        }
+        Some(self.l_inf - (self.l_inf - self.l_0) * (1.0 + samples / self.k).powf(-self.beta))
+    }
+
+    /// Samples needed to reach `target` lDDT-Cα (None if unreachable).
+    pub fn samples_to(&self, target: f64, batch: usize) -> Option<f64> {
+        if batch > self.max_batch || target >= self.l_inf {
+            return None;
+        }
+        let frac = (self.l_inf - target) / (self.l_inf - self.l_0);
+        Some(self.k * (frac.powf(-1.0 / self.beta) - 1.0))
+    }
+
+    /// Steps to reach `target` from `start_samples`, at `batch`.
+    pub fn steps_to(&self, start_samples: f64, target: f64, batch: usize) -> Option<u64> {
+        let need = self.samples_to(target, batch)?;
+        if need <= start_samples {
+            return Some(0);
+        }
+        Some(((need - start_samples) / batch as f64).ceil() as u64)
+    }
+}
+
+/// The two-phase from-scratch pretraining schedule of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PretrainSchedule {
+    /// Phase-1 global batch (128) and step budget (5000).
+    pub phase1_batch: usize,
+    /// Steps in phase 1.
+    pub phase1_steps: u64,
+    /// Phase-2 global batch (256).
+    pub phase2_batch: usize,
+    /// Convergence target (0.9 avg lDDT-Cα).
+    pub target_lddt: f64,
+    /// Milestone that must be hit before phase 1 ends (0.8).
+    pub phase1_target: f64,
+}
+
+impl Default for PretrainSchedule {
+    fn default() -> Self {
+        PretrainSchedule {
+            phase1_batch: 128,
+            phase1_steps: 5000,
+            phase2_batch: 256,
+            target_lddt: 0.9,
+            phase1_target: 0.8,
+        }
+    }
+}
+
+/// One point of the Figure-11 pretraining curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Optimizer step (global).
+    pub step: u64,
+    /// Samples seen so far.
+    pub samples: f64,
+    /// Expected avg lDDT-Cα.
+    pub lddt: f64,
+}
+
+impl PretrainSchedule {
+    /// Evaluates the pretraining curve every `stride` steps until the
+    /// target is reached (or `max_steps`).
+    pub fn curve(&self, model: &ConvergenceModel, stride: u64, max_steps: u64) -> Vec<CurvePoint> {
+        let mut out = Vec::new();
+        let mut samples = 0.0f64;
+        let mut step = 0u64;
+        loop {
+            let batch = if step < self.phase1_steps {
+                self.phase1_batch
+            } else {
+                self.phase2_batch
+            };
+            let lddt = model
+                .lddt_at(samples, batch)
+                .expect("schedule batches within the convergence limit");
+            if step.is_multiple_of(stride) || lddt >= self.target_lddt || step >= max_steps {
+                out.push(CurvePoint { step, samples, lddt });
+            }
+            if lddt >= self.target_lddt || step >= max_steps {
+                return out;
+            }
+            samples += batch as f64;
+            step += 1;
+        }
+    }
+
+    /// Total steps to reach the target.
+    pub fn steps_to_target(&self, model: &ConvergenceModel) -> u64 {
+        self.curve(model, u64::MAX / 2, 1_000_000)
+            .last()
+            .expect("curve has at least one point")
+            .step
+    }
+}
+
+/// Extension beyond the paper's scope: the **fine-tuning phase**. The
+/// original AlphaFold spent ~4 more days fine-tuning at larger crops
+/// (384 residues) after the 7-day initial training; ScaleFold only
+/// optimizes the initial phase. This models what ScaleFold's optimizations
+/// would do to fine-tuning: larger crops raise the attainable asymptote
+/// (more context) but slow each step (the `O(n³)` triangle terms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneExtension {
+    /// Fine-tuning crop size (AlphaFold: 384 vs 256 initial).
+    pub crop: usize,
+    /// Asymptote unlocked by the larger crop.
+    pub l_inf: f64,
+    /// Target lDDT-Cα for the fine-tuned model.
+    pub target_lddt: f64,
+    /// Global batch size.
+    pub batch: usize,
+}
+
+impl Default for FinetuneExtension {
+    fn default() -> Self {
+        FinetuneExtension {
+            crop: 384,
+            // The larger crop and fine-tune losses unlock a higher ceiling;
+            // 0.98 calibrates the phase to the ~5-10k fine-tuning steps the
+            // AlphaFold recipe actually uses.
+            l_inf: 0.98,
+            target_lddt: 0.94,
+            batch: 128,
+        }
+    }
+}
+
+impl FinetuneExtension {
+    /// Step-time multiplier of the larger crop versus the 256-residue
+    /// initial training: pair-track work is O(crop²·c) with O(crop³)
+    /// triangle terms; empirically ≈ (crop/256)^2.5.
+    pub fn step_multiplier(&self) -> f64 {
+        (self.crop as f64 / 256.0).powf(2.5)
+    }
+
+    /// Steps to reach the fine-tune target starting from the initial
+    /// training's endpoint, under a convergence model whose asymptote the
+    /// larger crop raises.
+    pub fn steps_from(&self, model: &ConvergenceModel, start_samples: f64) -> Option<u64> {
+        let lifted = ConvergenceModel {
+            l_inf: self.l_inf,
+            ..*model
+        };
+        lifted.steps_to(start_samples, self.target_lddt, self.batch)
+    }
+
+    /// Wall-clock hours of the fine-tuning phase given the initial
+    /// training's step time at crop 256.
+    pub fn hours(&self, model: &ConvergenceModel, start_samples: f64, base_step_s: f64) -> Option<f64> {
+        let steps = self.steps_from(model, start_samples)?;
+        Some(steps as f64 * base_step_s * self.step_multiplier() / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finetune_extension_reaches_higher_target() {
+        let m = ConvergenceModel::default();
+        let ext = FinetuneExtension::default();
+        // Starting where initial training ends (0.9 at ~12.8M samples).
+        let start = m.samples_to(0.9, 256).expect("reachable");
+        // 0.94 is beyond the initial asymptote (0.94 bound) but within the
+        // fine-tune asymptote.
+        assert!(m.steps_to(start, ext.target_lddt, 128).is_none() || m.l_inf > ext.target_lddt);
+        let steps = ext.steps_from(&m, start).expect("reachable with lifted asymptote");
+        assert!(steps > 1000, "fine-tuning is not instant: {steps}");
+        // With ScaleFold-optimized 0.65 s steps at crop 256, fine-tuning
+        // lands in tens of hours — far below the original 4 days but
+        // slower per-step than initial training.
+        let hours = ext.hours(&m, start, 0.65).expect("reachable");
+        assert!(hours < 96.0, "fine-tune {hours:.1} h vs original 4 days");
+        assert!(ext.step_multiplier() > 2.0);
+    }
+
+    #[test]
+    fn milestones_match_paper() {
+        let m = ConvergenceModel::default();
+        // 0.8 by 5000 steps at bs128.
+        let l1 = m.lddt_at(5000.0 * 128.0, 128).expect("bs ok");
+        assert!((0.78..0.83).contains(&l1), "phase-1 lddt {l1:.3}");
+        // 0.9 between 50k and 60k total steps (phase 2 at bs256).
+        let s = PretrainSchedule::default();
+        let steps = s.steps_to_target(&m);
+        assert!(
+            (45_000..65_000).contains(&steps),
+            "steps to 0.9: {steps}"
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let m = ConvergenceModel::default();
+        let s = PretrainSchedule::default();
+        let curve = s.curve(&m, 1000, 100_000);
+        assert!(curve.windows(2).all(|w| w[1].lddt >= w[0].lddt));
+        assert!(curve.first().expect("nonempty").lddt < 0.5);
+        assert!(curve.last().expect("nonempty").lddt >= 0.9);
+    }
+
+    #[test]
+    fn oversized_batch_fails_to_converge() {
+        let m = ConvergenceModel::default();
+        assert!(m.lddt_at(1e7, 512).is_none());
+        assert!(m.samples_to(0.9, 512).is_none());
+        assert!(m.lddt_at(1e7, 256).is_some());
+    }
+
+    #[test]
+    fn samples_to_inverts_lddt_at() {
+        let m = ConvergenceModel::default();
+        for target in [0.5, 0.7, 0.8, 0.9] {
+            let n = m.samples_to(target, 128).expect("reachable");
+            let l = m.lddt_at(n, 128).expect("bs ok");
+            assert!((l - target).abs() < 1e-6, "target {target}: got {l}");
+        }
+    }
+
+    #[test]
+    fn steps_to_accounts_for_head_start() {
+        let m = ConvergenceModel::default();
+        let cold = m.steps_to(0.0, 0.85, 256).expect("reachable");
+        let warm = m.steps_to(2e6, 0.85, 256).expect("reachable");
+        assert!(warm < cold);
+        // Already past target: zero steps.
+        let n09 = m.samples_to(0.9, 256).expect("reachable");
+        assert_eq!(m.steps_to(n09 + 1.0, 0.9, 256), Some(0));
+    }
+
+    #[test]
+    fn asymptote_is_never_exceeded() {
+        let m = ConvergenceModel::default();
+        assert!(m.lddt_at(1e12, 128).expect("bs ok") < m.l_inf);
+        assert!(m.samples_to(m.l_inf, 128).is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! A *functional* data-parallel trainer: real replicas, real gradient
+//! all-reduce (the ring algorithm from `sf_cluster::collective`), real
+//! bucketed clipping — the algorithms the cluster simulator prices, run
+//! for correctness at CPU scale.
+//!
+//! The key invariants this module demonstrates (and tests):
+//!
+//! - replicas that start identical and all-reduce their gradients stay
+//!   **bit-comparable** forever (the fundamental DP contract);
+//! - DP-k training on k batches takes the same parameter step as a single
+//!   trainer fed the averaged gradient of those k batches;
+//! - the gradient traffic all-reduced per step is exactly what
+//!   `ClusterSim` prices (`param_elements × bytes`).
+
+use crate::trainer::TrainerConfig;
+use sf_autograd::{Graph, ParamStore};
+use sf_cluster::collective::all_reduce_tensors;
+use sf_data::featurize::featurize;
+use sf_data::SyntheticDataset;
+use sf_model::{AlphaFold, FeatureBatch, ModelConfig};
+use sf_optim::{FusedAdamSwa, GradBuckets, Grads};
+
+/// Per-step report of a data-parallel training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpStepReport {
+    /// Step index.
+    pub step: u64,
+    /// Mean loss across replicas.
+    pub mean_loss: f32,
+    /// Global gradient norm after averaging (pre-clip).
+    pub grad_norm: f32,
+    /// Elements communicated by the ring all-reduce this step.
+    pub elements_all_reduced: usize,
+    /// Maximum parameter divergence across replicas after the step
+    /// (should be ~0: the DP contract).
+    pub max_replica_divergence: f32,
+}
+
+/// A `k`-replica data-parallel trainer sharing one model architecture.
+pub struct DataParallelTrainer {
+    cfg: TrainerConfig,
+    model: AlphaFold,
+    /// One parameter store per replica (kept deliberately separate so the
+    /// divergence invariant is *measured*, not assumed).
+    stores: Vec<ParamStore>,
+    optimizers: Vec<FusedAdamSwa>,
+    step: u64,
+}
+
+impl DataParallelTrainer {
+    /// Creates `ranks` replicas. Parameters initialize lazily on the first
+    /// step (deterministically by name, so all replicas start identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks == 0`.
+    pub fn new(cfg: TrainerConfig, ranks: usize) -> Self {
+        assert!(ranks > 0, "need at least one replica");
+        let model = AlphaFold::new(cfg.model.clone());
+        let optimizers = (0..ranks)
+            .map(|_| FusedAdamSwa::new(cfg.adam, cfg.swa_decay))
+            .collect();
+        DataParallelTrainer {
+            model,
+            stores: vec![ParamStore::new(); ranks],
+            optimizers,
+            step: 0,
+            cfg,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn ranks(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// A replica's parameter store.
+    pub fn store(&self, rank: usize) -> &ParamStore {
+        &self.stores[rank]
+    }
+
+    /// One synchronous data-parallel step: each replica computes gradients
+    /// on its own batch, gradients are ring-all-reduced (mean), bucketed
+    /// clipping applies to the averaged gradients, and every replica takes
+    /// the same optimizer step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches.len() != ranks` or a batch mismatches the model
+    /// configuration.
+    pub fn train_step(&mut self, batches: &[FeatureBatch]) -> DpStepReport {
+        assert_eq!(batches.len(), self.ranks(), "one batch per replica");
+        // Per-replica forward/backward.
+        let ranks = self.ranks();
+        let mut per_rank_grads: Vec<Grads> = Vec::with_capacity(ranks);
+        let mut mean_loss = 0.0f32;
+        let model = &self.model;
+        for (store, batch) in self.stores.iter_mut().zip(batches.iter()) {
+            let mut g = Graph::new();
+            let out = model
+                .forward(&mut g, store, batch)
+                .expect("forward on validated batch");
+            g.backward(out.loss).expect("scalar loss");
+            mean_loss += out.loss_breakdown.total / ranks as f32;
+            per_rank_grads.push(g.grads_by_name().expect("bindings"));
+        }
+
+        // Ring all-reduce every gradient tensor across replicas.
+        let names: Vec<String> = per_rank_grads[0].keys().cloned().collect();
+        let mut elements = 0usize;
+        for name in &names {
+            let mut ranks_tensors: Vec<sf_tensor::Tensor> = per_rank_grads
+                .iter()
+                .map(|g| g[name].clone())
+                .collect();
+            let stats = all_reduce_tensors(&mut ranks_tensors);
+            elements += stats.elements_sent;
+            for (g, t) in per_rank_grads.iter_mut().zip(ranks_tensors) {
+                g.insert(name.clone(), t);
+            }
+        }
+
+        // Bucketed clipping on the (identical) averaged gradients.
+        let mut buckets = GradBuckets::pack(&per_rank_grads[0], 25 * 1024 * 1024);
+        let grad_norm = buckets.clip(self.cfg.clip_norm);
+        let clipped_flat = buckets.unpack();
+        for grads in per_rank_grads.iter_mut() {
+            for (name, flat) in &clipped_flat {
+                let orig = &grads[name];
+                let reshaped = flat
+                    .reshape(orig.dims())
+                    .expect("bucket round-trip preserves element count");
+                grads.insert(name.clone(), reshaped);
+            }
+        }
+
+        // Identical optimizer step on every replica.
+        let lr = self.cfg.schedule.lr_at(self.step);
+        for ((store, opt), grads) in self
+            .stores
+            .iter_mut()
+            .zip(self.optimizers.iter_mut())
+            .zip(per_rank_grads.iter())
+        {
+            opt.step(store, grads, lr);
+        }
+        self.step += 1;
+
+        DpStepReport {
+            step: self.step,
+            mean_loss,
+            grad_norm,
+            elements_all_reduced: elements,
+            max_replica_divergence: self.max_divergence(),
+        }
+    }
+
+    /// Trains `steps` steps on deterministic synthetic batches (replica `r`
+    /// sees sample `step * ranks + r`).
+    pub fn train(&mut self, steps: u64) -> Vec<DpStepReport> {
+        let ds = SyntheticDataset::new(self.cfg.seed ^ 0xD0, 64);
+        let mut out = Vec::with_capacity(steps as usize);
+        for s in 0..steps {
+            let batches: Vec<FeatureBatch> = (0..self.ranks())
+                .map(|r| {
+                    let idx = (s as usize * self.ranks() + r) % ds.len();
+                    featurize(&ds.record(idx), &self.cfg.model, self.cfg.seed ^ idx as u64)
+                })
+                .collect();
+            out.push(self.train_step(&batches));
+        }
+        out
+    }
+
+    /// Maximum absolute parameter difference between replica 0 and the
+    /// others (the DP-synchrony invariant; ~0 up to f32 rounding).
+    pub fn max_divergence(&self) -> f32 {
+        let mut max = 0.0f32;
+        let base = &self.stores[0];
+        for other in &self.stores[1..] {
+            for (name, t) in base.iter() {
+                if let Some(o) = other.get(name) {
+                    for (a, b) in t.data().iter().zip(o.data().iter()) {
+                        max = max.max((a - b).abs());
+                    }
+                }
+            }
+        }
+        max
+    }
+}
+
+/// A ModelConfig small enough for multi-replica CPU tests.
+pub fn dp_test_model() -> ModelConfig {
+    let mut cfg = ModelConfig::tiny();
+    cfg.evoformer_blocks = 1;
+    cfg.extra_msa_blocks = 0;
+    cfg.template_blocks = 0;
+    cfg.structure_layers = 1;
+    cfg.n_res = 8;
+    cfg.n_seq = 3;
+    cfg.n_extra_seq = 4;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp_cfg() -> TrainerConfig {
+        let mut cfg = TrainerConfig::tiny();
+        cfg.model = dp_test_model();
+        cfg.schedule.warmup_steps = 2;
+        cfg
+    }
+
+    #[test]
+    fn replicas_stay_synchronized() {
+        let mut dp = DataParallelTrainer::new(dp_cfg(), 3);
+        let reports = dp.train(4);
+        for r in &reports {
+            assert!(
+                r.max_replica_divergence < 1e-5,
+                "step {}: divergence {}",
+                r.step,
+                r.max_replica_divergence
+            );
+            assert!(r.mean_loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn all_reduce_traffic_matches_parameter_count() {
+        let mut dp = DataParallelTrainer::new(dp_cfg(), 2);
+        let reports = dp.train(1);
+        let params: usize = dp.store(0).num_elements();
+        // Ring with n=2 sends 2*(n-1)/n = 1x the elements per rank; summed
+        // over ranks = params * 2 * (n-1) = params * 2.
+        let expect = params * 2;
+        let got = reports[0].elements_all_reduced;
+        assert!(
+            got.abs_diff(expect) <= 2 * dp.store(0).len(),
+            "traffic {got} vs expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn dp2_matches_single_trainer_on_averaged_gradient() {
+        // A DP-2 step equals a single-replica step taken on the mean of the
+        // two batches' gradients — verified by comparing parameters after
+        // one step against a manual average.
+        let cfg = dp_cfg();
+        let ds = SyntheticDataset::new(cfg.seed ^ 0xD0, 64);
+        let b0 = featurize(&ds.record(0), &cfg.model, cfg.seed);
+        let b1 = featurize(&ds.record(1), &cfg.model, cfg.seed ^ 1);
+
+        let mut dp = DataParallelTrainer::new(cfg.clone(), 2);
+        dp.train_step(&[b0.clone(), b1.clone()]);
+
+        // Manual: one store, average the two gradient maps, same optimizer.
+        let model = AlphaFold::new(cfg.model.clone());
+        let mut store = ParamStore::new();
+        let mut grads_sum: Option<Grads> = None;
+        for batch in [&b0, &b1] {
+            let mut g = Graph::new();
+            let out = model.forward(&mut g, &mut store, batch).expect("fwd");
+            g.backward(out.loss).expect("bwd");
+            let grads = g.grads_by_name().expect("grads");
+            grads_sum = Some(match grads_sum {
+                None => grads,
+                Some(mut acc) => {
+                    for (name, t) in grads {
+                        let merged = acc[&name].add(&t).expect("same shapes");
+                        acc.insert(name, merged);
+                    }
+                    acc
+                }
+            });
+        }
+        let mut grads = grads_sum.expect("two batches");
+        for t in grads.values_mut() {
+            *t = t.mul_scalar(0.5);
+        }
+        let mut buckets = GradBuckets::pack(&grads, 25 * 1024 * 1024);
+        buckets.clip(cfg.clip_norm);
+        let clipped = buckets.unpack();
+        for (name, flat) in clipped {
+            let dims = grads[&name].dims().to_vec();
+            grads.insert(name.clone(), flat.reshape(&dims).expect("sized"));
+        }
+        let mut opt = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);
+        opt.step(&mut store, &grads, cfg.schedule.lr_at(0));
+
+        for (name, manual) in store.iter() {
+            let dp_param = dp.store(0).get(name).expect("same params");
+            assert!(
+                manual.allclose(dp_param, 1e-4),
+                "parameter {name} differs between DP-2 and manual averaging"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_dp_equals_plain_trainer_shape() {
+        let mut dp = DataParallelTrainer::new(dp_cfg(), 1);
+        let reports = dp.train(2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].elements_all_reduced, 0); // no comm at DP-1
+        assert_eq!(reports[1].max_replica_divergence, 0.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The real training loop: actual gradient descent on the actual AlphaFold
+//! model (tiny scale), wired through the non-blocking data pipeline and the
+//! fused Adam+SWA optimizer — every algorithm from the paper, executing for
+//! real.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sf_autograd::{Graph, ParamStore};
+use sf_data::featurize::featurize;
+use sf_data::loader::{Dataset, LoaderConfig, NonBlockingPipeline};
+use sf_data::SyntheticDataset;
+use sf_model::loss::LossBreakdown;
+use sf_model::metrics::lddt_ca;
+use sf_model::{AlphaFold, FeatureBatch, ModelConfig};
+use sf_optim::{clip_by_global_norm, AdamConfig, FusedAdamSwa, LrSchedule};
+use sf_tensor::bf16::Precision;
+use std::sync::Arc;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Model dimensions (use [`ModelConfig::tiny`]-scale on a CPU).
+    pub model: ModelConfig,
+    /// Adam hyper-parameters.
+    pub adam: AdamConfig,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// SWA decay.
+    pub swa_decay: f32,
+    /// Global-norm gradient clip threshold.
+    pub clip_norm: f32,
+    /// Numeric precision for gradients/activations rounding.
+    pub precision: Precision,
+    /// Synthetic dataset size.
+    pub dataset_len: usize,
+    /// Data-loader worker threads.
+    pub loader_workers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// A CPU-friendly configuration for tests and examples.
+    pub fn tiny() -> Self {
+        TrainerConfig {
+            model: ModelConfig::tiny(),
+            adam: AdamConfig {
+                lr: 1e-3,
+                ..AdamConfig::default()
+            },
+            schedule: LrSchedule {
+                peak_lr: 1e-3,
+                warmup_steps: 10,
+                decay_after: 10_000,
+                decay_factor: 0.95,
+            },
+            swa_decay: 0.99,
+            clip_norm: 1.0,
+            precision: Precision::F32,
+            dataset_len: 16,
+            loader_workers: 2,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-step training report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Optimizer step index.
+    pub step: u64,
+    /// Loss terms.
+    pub loss: f32,
+    /// Structural (distance-map) loss term.
+    pub distance_loss: f32,
+    /// Pre-clip global gradient norm.
+    pub grad_norm: f32,
+    /// lDDT-Cα of this step's prediction against the ground truth.
+    pub lddt: f32,
+    /// Learning rate used.
+    pub lr: f32,
+}
+
+struct FeaturizingDataset {
+    records: SyntheticDataset,
+    cfg: ModelConfig,
+    seed: u64,
+}
+
+impl Dataset for FeaturizingDataset {
+    type Item = FeatureBatch;
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn prepare(&self, index: usize) -> FeatureBatch {
+        featurize(&self.records.record(index), &self.cfg, self.seed ^ index as u64)
+    }
+}
+
+/// The real trainer: owns parameters, optimizer state, and the data
+/// pipeline.
+///
+/// # Example
+///
+/// ```
+/// use scalefold::{Trainer, TrainerConfig};
+///
+/// let mut cfg = TrainerConfig::tiny();
+/// cfg.model.evoformer_blocks = 1;
+/// cfg.model.extra_msa_blocks = 0;
+/// let mut trainer = Trainer::new(cfg);
+/// let reports = trainer.train(2);
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports.iter().all(|r| r.loss.is_finite()));
+/// ```
+pub struct Trainer {
+    cfg: TrainerConfig,
+    model: AlphaFold,
+    store: ParamStore,
+    optimizer: FusedAdamSwa,
+    step: u64,
+    rng: StdRng,
+}
+
+impl Trainer {
+    /// Creates a trainer (parameters initialize lazily on the first step).
+    pub fn new(cfg: TrainerConfig) -> Self {
+        let model = AlphaFold::new(cfg.model.clone());
+        let optimizer = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Trainer {
+            model,
+            store: ParamStore::new(),
+            optimizer,
+            step: 0,
+            rng,
+            cfg,
+        }
+    }
+
+    /// The parameter store (inspect or checkpoint weights).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Steps taken.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Runs one optimization step on `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shapes mismatch the model configuration (call
+    /// [`FeatureBatch::validate`] upstream) or an internal op fails — both
+    /// indicate programming errors rather than recoverable conditions.
+    pub fn train_step(&mut self, batch: &FeatureBatch) -> StepReport {
+        let mut g = Graph::new();
+        let out = self
+            .model
+            .forward(&mut g, &mut self.store, batch)
+            .expect("forward pass on validated batch");
+        g.backward(out.loss).expect("scalar loss");
+        let mut grads = g.grads_by_name().expect("consistent bindings");
+        // Precision rounding of gradients (bf16 path of §3.4; fp16 shows
+        // the NaN failure mode at larger scales).
+        if self.cfg.precision != Precision::F32 {
+            for grad in grads.values_mut() {
+                *grad = self.cfg.precision.quantize(grad);
+            }
+        }
+        let grad_norm = clip_by_global_norm(&mut grads, self.cfg.clip_norm);
+        let lr = self.cfg.schedule.lr_at(self.step);
+        self.optimizer.step(&mut self.store, &grads, lr);
+        let lddt = lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask);
+        let LossBreakdown { total, distance, .. } = out.loss_breakdown;
+        self.step += 1;
+        StepReport {
+            step: self.step,
+            loss: total,
+            distance_loss: distance,
+            grad_norm,
+            lddt,
+            lr,
+        }
+    }
+
+    /// Trains for `steps` steps, streaming batches through the real
+    /// non-blocking pipeline (threads and all).
+    pub fn train(&mut self, steps: u64) -> Vec<StepReport> {
+        let dataset = Arc::new(FeaturizingDataset {
+            records: SyntheticDataset::new(self.cfg.seed ^ 0xDA7A, self.cfg.dataset_len),
+            cfg: self.cfg.model.clone(),
+            seed: self.cfg.seed,
+        });
+        let mut reports = Vec::with_capacity(steps as usize);
+        'outer: loop {
+            let epoch = self.rng.gen::<u64>();
+            let order = SyntheticDataset::new(self.cfg.seed ^ 0xDA7A, self.cfg.dataset_len)
+                .epoch_order(epoch);
+            let loader = NonBlockingPipeline::new(
+                Arc::clone(&dataset),
+                order,
+                LoaderConfig {
+                    num_workers: self.cfg.loader_workers,
+                },
+            );
+            for (_, batch) in loader {
+                reports.push(self.train_step(&batch));
+                if reports.len() as u64 >= steps {
+                    break 'outer;
+                }
+            }
+        }
+        reports
+    }
+
+    /// Saves the current weights to `path` (see
+    /// `sf_autograd::checkpoint_io` for the format). Used for the MLPerf
+    /// "initialized from predefined checkpoint" setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sf_autograd::CheckpointError`] on I/O failure.
+    pub fn save_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), sf_autograd::CheckpointError> {
+        self.store.save_file(path)
+    }
+
+    /// Restores weights from a checkpoint produced by
+    /// [`Trainer::save_checkpoint`]. Optimizer moments and the step counter
+    /// reset (matching the MLPerf benchmark, which restarts the optimizer
+    /// from the published weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`sf_autograd::CheckpointError`] if the file is missing or
+    /// malformed.
+    pub fn load_checkpoint(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), sf_autograd::CheckpointError> {
+        self.store = ParamStore::load_file(path)?;
+        Ok(())
+    }
+
+    /// Builds the in-memory evaluation cache (§3.4's "cached all evaluation
+    /// data into the CPU DRAM instead of disk"): featurizes the held-out
+    /// samples once, so every evaluation pass skips data preparation.
+    pub fn build_eval_cache(&self, n: usize) -> Vec<FeatureBatch> {
+        let eval_set = SyntheticDataset::new(self.cfg.seed ^ 0xE7A1, n.max(1));
+        (0..n.max(1))
+            .map(|i| featurize(&eval_set.record(i), &self.cfg.model, 0xE7A1 ^ i as u64))
+            .collect()
+    }
+
+    /// Evaluates against a pre-built cache ([`Trainer::build_eval_cache`]).
+    /// Identical scores to [`Trainer::evaluate`] on the same sample count —
+    /// only the per-pass featurization cost disappears.
+    pub fn evaluate_cached(&self, cache: &[FeatureBatch]) -> f32 {
+        let mut store = self.optimizer.swa_store();
+        if store.is_empty() {
+            store = self.store.clone();
+        }
+        let mut total = 0.0f32;
+        for batch in cache {
+            let mut g = Graph::new();
+            let out = self
+                .model
+                .forward(&mut g, &mut store, batch)
+                .expect("forward pass on cached eval batch");
+            total += lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask);
+        }
+        total / cache.len().max(1) as f32
+    }
+
+    /// Asynchronous evaluation (§3.4): snapshots the SWA weights and runs
+    /// the evaluation pass on a **separate thread**, so training can
+    /// continue immediately — the functional analogue of offloading
+    /// evaluation to dedicated nodes. Join the handle for the score.
+    pub fn evaluate_async(&self, n: usize) -> std::thread::JoinHandle<f32> {
+        let mut store = self.optimizer.swa_store();
+        if store.is_empty() {
+            store = self.store.clone();
+        }
+        let model_cfg = self.cfg.model.clone();
+        let seed = self.cfg.seed;
+        std::thread::spawn(move || {
+            let model = AlphaFold::new(model_cfg.clone());
+            let eval_set = SyntheticDataset::new(seed ^ 0xE7A1, n.max(1));
+            let mut total = 0.0f32;
+            for i in 0..n.max(1) {
+                let batch = featurize(&eval_set.record(i), &model_cfg, 0xE7A1 ^ i as u64);
+                let mut g = Graph::new();
+                let out = model
+                    .forward(&mut g, &mut store, &batch)
+                    .expect("forward pass on synthetic eval batch");
+                total += lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask);
+            }
+            total / n.max(1) as f32
+        })
+    }
+
+    /// Evaluates mean lDDT-Cα over `n` held-out samples using the
+    /// SWA-averaged weights (as the MLPerf recipe evaluates).
+    pub fn evaluate(&self, n: usize) -> f32 {
+        let mut store = self.optimizer.swa_store();
+        if store.is_empty() {
+            store = self.store.clone();
+        }
+        let eval_set = SyntheticDataset::new(self.cfg.seed ^ 0xE7A1, n.max(1));
+        let mut total = 0.0f32;
+        for i in 0..n.max(1) {
+            let batch = featurize(&eval_set.record(i), &self.cfg.model, 0xE7A1 ^ i as u64);
+            let mut g = Graph::new();
+            let out = self
+                .model
+                .forward(&mut g, &mut store, &batch)
+                .expect("forward pass on synthetic eval batch");
+            total += lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask);
+        }
+        total / n.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> TrainerConfig {
+        let mut cfg = TrainerConfig::tiny();
+        cfg.model.evoformer_blocks = 1;
+        cfg.model.extra_msa_blocks = 0;
+        cfg.model.template_blocks = 0;
+        cfg.model.n_templates = 1;
+        cfg.model.structure_layers = 1;
+        cfg.dataset_len = 4;
+        cfg
+    }
+
+    #[test]
+    fn single_step_produces_finite_report() {
+        let mut t = Trainer::new(fast_cfg());
+        let ds = SyntheticDataset::new(1, 4);
+        let batch = featurize(&ds.record(0), &t.cfg.model.clone(), 1);
+        let r = t.train_step(&batch);
+        assert!(r.loss.is_finite());
+        assert!(r.grad_norm > 0.0);
+        assert!((0.0..=1.0).contains(&r.lddt));
+        assert_eq!(r.step, 1);
+    }
+
+    #[test]
+    fn loss_decreases_on_repeated_batch() {
+        let mut t = Trainer::new(fast_cfg());
+        let ds = SyntheticDataset::new(2, 4);
+        let cfg = t.cfg.model.clone();
+        let batch = featurize(&ds.record(0), &cfg, 2);
+        let first = t.train_step(&batch).loss;
+        let mut last = first;
+        for _ in 0..14 {
+            last = t.train_step(&batch).loss;
+        }
+        assert!(
+            last < first,
+            "loss should fall on a fixed batch: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn train_uses_pipeline_and_counts_steps() {
+        let mut t = Trainer::new(fast_cfg());
+        let reports = t.train(3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(t.step_count(), 3);
+        assert!(reports.iter().all(|r| r.loss.is_finite()));
+    }
+
+    #[test]
+    fn warmup_schedule_applies() {
+        let mut t = Trainer::new(fast_cfg());
+        let reports = t.train(2);
+        assert!(reports[0].lr < reports[1].lr);
+    }
+
+    #[test]
+    fn bf16_training_stays_finite() {
+        let mut cfg = fast_cfg();
+        cfg.precision = Precision::Bf16;
+        let mut t = Trainer::new(cfg);
+        let reports = t.train(3);
+        assert!(reports.iter().all(|r| r.loss.is_finite() && r.grad_norm.is_finite()));
+    }
+
+    #[test]
+    fn checkpoint_restores_weights_exactly() {
+        let mut t = Trainer::new(fast_cfg());
+        let _ = t.train(2);
+        let path = std::env::temp_dir().join("sf_trainer_ckpt.bin");
+        t.save_checkpoint(&path).expect("save");
+
+        // A fresh trainer restored from the checkpoint produces the same
+        // forward outputs as the original.
+        let mut fresh = Trainer::new(fast_cfg());
+        fresh.load_checkpoint(&path).expect("load");
+        let ds = SyntheticDataset::new(99, 2);
+        let batch = featurize(&ds.record(0), &fresh.cfg.model.clone(), 99);
+        let mut g1 = sf_autograd::Graph::new();
+        let model = sf_model::AlphaFold::new(t.cfg.model.clone());
+        let o1 = model.forward(&mut g1, &mut t.store.clone(), &batch).expect("fwd");
+        let mut g2 = sf_autograd::Graph::new();
+        let o2 = model
+            .forward(&mut g2, &mut fresh.store.clone(), &batch)
+            .expect("fwd");
+        assert_eq!(o1.loss_breakdown.total, o2.loss_breakdown.total);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn evaluate_returns_sane_score() {
+        let mut t = Trainer::new(fast_cfg());
+        let _ = t.train(1);
+        let score = t.evaluate(2);
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn cached_eval_matches_uncached() {
+        let mut t = Trainer::new(fast_cfg());
+        let _ = t.train(2);
+        let cache = t.build_eval_cache(2);
+        assert_eq!(t.evaluate_cached(&cache), t.evaluate(2));
+        // The cache is reusable across further training.
+        let _ = t.train(1);
+        let s = t.evaluate_cached(&cache);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn async_eval_overlaps_training_and_matches_sync() {
+        let mut t = Trainer::new(fast_cfg());
+        let _ = t.train(2);
+        // Launch evaluation, keep training while it runs, then join.
+        let handle = t.evaluate_async(2);
+        let sync_before = t.evaluate(2);
+        let more = t.train(2); // training proceeds while eval runs
+        let async_score = handle.join().expect("eval thread");
+        assert_eq!(async_score, sync_before, "same snapshot, same score");
+        assert_eq!(more.len(), 2);
+        // Training moved on: a fresh evaluation now differs in general.
+        assert!((0.0..=1.0).contains(&t.evaluate(2)));
+    }
+}

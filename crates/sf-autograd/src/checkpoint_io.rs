@@ -1,0 +1,238 @@
+//! Parameter-store checkpointing: a simple self-describing binary format
+//! (no external dependencies), used to pause/resume training and to ship
+//! the MLPerf-style "initialized from predefined checkpoint" setting.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic   b"SFCK"            4 bytes
+//! version u32                  = 1
+//! count   u64                  number of parameters
+//! repeat count times:
+//!   name_len u32, name bytes (UTF-8)
+//!   rank u32, dims u64 x rank
+//!   data f32 x prod(dims)
+//! ```
+
+use crate::params::ParamStore;
+use sf_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SFCK";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint (de)serialization.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a ScaleFold checkpoint or is a newer version.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl ParamStore {
+    /// Serializes every parameter to `writer` in the checkpoint format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on write failure.
+    pub fn save_to<W: Write>(&self, mut writer: W) -> Result<(), CheckpointError> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        writer.write_all(&(self.len() as u64).to_le_bytes())?;
+        for (name, tensor) in self.iter() {
+            let bytes = name.as_bytes();
+            writer.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            writer.write_all(bytes)?;
+            writer.write_all(&(tensor.rank() as u32).to_le_bytes())?;
+            for &d in tensor.dims() {
+                writer.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &x in tensor.data() {
+                writer.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint produced by [`ParamStore::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Format`] if the magic/version mismatch or
+    /// the stream is truncated/corrupt, [`CheckpointError::Io`] on read
+    /// failure.
+    pub fn load_from<R: Read>(mut reader: R) -> Result<Self, CheckpointError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(CheckpointError::Format("bad magic".into()));
+        }
+        let version = read_u32(&mut reader)?;
+        if version != VERSION {
+            return Err(CheckpointError::Format(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let count = read_u64(&mut reader)? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name_len = read_u32(&mut reader)? as usize;
+            if name_len > 1 << 20 {
+                return Err(CheckpointError::Format("oversized name".into()));
+            }
+            let mut name_bytes = vec![0u8; name_len];
+            reader.read_exact(&mut name_bytes)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|_| CheckpointError::Format("non-utf8 parameter name".into()))?;
+            let rank = read_u32(&mut reader)? as usize;
+            if rank > 16 {
+                return Err(CheckpointError::Format("implausible tensor rank".into()));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u64(&mut reader)? as usize);
+            }
+            let elems: usize = dims.iter().product();
+            if elems > 1 << 31 {
+                return Err(CheckpointError::Format("implausible tensor size".into()));
+            }
+            let mut data = Vec::with_capacity(elems);
+            let mut buf = [0u8; 4];
+            for _ in 0..elems {
+                reader.read_exact(&mut buf)?;
+                data.push(f32::from_le_bytes(buf));
+            }
+            let tensor = Tensor::from_vec(data, &dims)
+                .map_err(|e| CheckpointError::Format(format!("tensor: {e}")))?;
+            store.insert(name, tensor);
+        }
+        Ok(store)
+    }
+
+    /// Saves to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on file-system failure.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let f = std::fs::File::create(path)?;
+        self.save_to(io::BufWriter::new(f))
+    }
+
+    /// Loads from a file path.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParamStore::load_from`].
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let f = std::fs::File::open(path)?;
+        Self::load_from(io::BufReader::new(f))
+    }
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, CheckpointError> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.insert("a.weight", Tensor::randn(&[3, 4], 1));
+        s.insert("a.bias", Tensor::randn(&[4], 2));
+        s.insert("scalarish", Tensor::scalar(2.5));
+        s
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).expect("write to vec");
+        let loaded = ParamStore::load_from(buf.as_slice()).expect("read back");
+        assert_eq!(loaded.len(), store.len());
+        for (name, t) in store.iter() {
+            assert_eq!(loaded.get(name).expect("present"), t, "{name}");
+        }
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("sf_ckpt_test.bin");
+        store.save_file(&path).expect("save");
+        let loaded = ParamStore::load_file(&path).expect("load");
+        assert_eq!(loaded.get("a.weight"), store.get("a.weight"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            ParamStore::load_from(&b"NOTACKPT"[..]),
+            Err(CheckpointError::Format(_))
+        ));
+        // Truncated stream.
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).expect("write");
+        buf.truncate(buf.len() / 2);
+        assert!(ParamStore::load_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            ParamStore::load_from(buf.as_slice()),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = ParamStore::new();
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).expect("write");
+        let loaded = ParamStore::load_from(buf.as_slice()).expect("read");
+        assert!(loaded.is_empty());
+    }
+}

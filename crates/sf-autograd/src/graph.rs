@@ -1,0 +1,577 @@
+//! The autodiff tape: nodes, forward operations, and the backward driver.
+
+use crate::op::Op;
+use crate::{AutogradError, Result};
+use sf_tensor::ops::attention::flash_attention;
+use sf_tensor::ops::layernorm::{fused_forward, LN_EPS};
+use sf_tensor::ops::softmax::softmax;
+use sf_tensor::Tensor;
+
+/// A handle to a value on the tape.
+///
+/// `Var`s are cheap indices; they are only meaningful for the [`Graph`] that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+}
+
+/// An append-only reverse-mode autodiff tape.
+///
+/// Build the forward computation with the methods below, then call
+/// [`Graph::backward`] on a scalar loss. Leaf gradients are retrieved with
+/// [`Graph::grad`] or, for parameters bound by name via
+/// [`Graph::use_param`], with [`Graph::grads_by_name`].
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Tensor>>,
+    pub(crate) bindings: Vec<(String, Var)>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .field("bindings", &self.bindings.len())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of trainable leaves on the tape.
+    pub fn num_trainable(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Leaf { requires_grad: true }))
+            .count()
+    }
+
+    /// Total bytes held by non-leaf (activation) tensors — what gradient
+    /// checkpointing trades for recomputation.
+    pub fn activation_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !matches!(n.op, Op::Leaf { .. }))
+            .map(|n| n.value.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    pub(crate) fn check(&self, v: Var) -> Result<()> {
+        if v.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(AutogradError::InvalidVar {
+                index: v.0,
+                len: self.nodes.len(),
+            })
+        }
+    }
+
+    /// The current value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this graph.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a variable after [`Graph::backward`], or
+    /// `None` if no gradient flowed to it (or backward has not run).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Registers a trainable leaf (gradients will be accumulated).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf { requires_grad: true })
+    }
+
+    /// Registers a constant leaf (no gradient).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf { requires_grad: false })
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise binary (broadcasting)
+    // ------------------------------------------------------------------
+
+    /// Broadcasting addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or incompatible shapes.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.check(a)?;
+        self.check(b)?;
+        let v = self.value(a).add(self.value(b))?;
+        Ok(self.push(v, Op::Add(a, b)))
+    }
+
+    /// Broadcasting subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or incompatible shapes.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.check(a)?;
+        self.check(b)?;
+        let v = self.value(a).sub(self.value(b))?;
+        Ok(self.push(v, Op::Sub(a, b)))
+    }
+
+    /// Broadcasting multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or incompatible shapes.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.check(a)?;
+        self.check(b)?;
+        let v = self.value(a).mul(self.value(b))?;
+        Ok(self.push(v, Op::Mul(a, b)))
+    }
+
+    /// Broadcasting division.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or incompatible shapes.
+    pub fn div(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.check(a)?;
+        self.check(b)?;
+        let v = self.value(a).div(self.value(b))?;
+        Ok(self.push(v, Op::Div(a, b)))
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise unary
+    // ------------------------------------------------------------------
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn neg(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).neg();
+        Ok(self.push(v, Op::Neg(x)))
+    }
+
+    /// Multiplication by a compile-time scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn scale(&mut self, x: Var, s: f32) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).mul_scalar(s);
+        Ok(self.push(v, Op::Scale(x, s)))
+    }
+
+    /// Addition of a scalar constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn add_scalar(&mut self, x: Var, s: f32) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).add_scalar(s);
+        Ok(self.push(v, Op::AddScalar(x)))
+    }
+
+    /// ReLU activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn relu(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).relu();
+        Ok(self.push(v, Op::Relu(x)))
+    }
+
+    /// Sigmoid activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn sigmoid(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).sigmoid();
+        Ok(self.push(v, Op::Sigmoid(x)))
+    }
+
+    /// Tanh activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn tanh(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).tanh();
+        Ok(self.push(v, Op::Tanh(x)))
+    }
+
+    /// Exact GELU activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn gelu(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).gelu();
+        Ok(self.push(v, Op::Gelu(x)))
+    }
+
+    /// Elementwise square.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn square(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).square();
+        Ok(self.push(v, Op::Square(x)))
+    }
+
+    /// Elementwise exponential.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn exp(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).exp();
+        Ok(self.push(v, Op::Exp(x)))
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn ln(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).ln();
+        Ok(self.push(v, Op::Ln(x)))
+    }
+
+    /// Elementwise square root.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn sqrt(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).sqrt();
+        Ok(self.push(v, Op::Sqrt(x)))
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra & attention
+    // ------------------------------------------------------------------
+
+    /// Batched matrix multiplication (see `sf_tensor::ops::matmul`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or incompatible shapes.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        self.check(a)?;
+        self.check(b)?;
+        let v = self.value(a).matmul(self.value(b))?;
+        Ok(self.push(v, Op::Matmul(a, b)))
+    }
+
+    /// Softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or rank-0 input.
+    pub fn softmax(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = softmax(self.value(x))?;
+        Ok(self.push(v, Op::Softmax(x)))
+    }
+
+    /// Fused LayerNorm over the last axis (single tape node; single-pass
+    /// Welford forward, two-step-reduction backward).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `gamma`/`beta` shapes mismatch the last axis.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Result<Var> {
+        self.check(x)?;
+        self.check(gamma)?;
+        self.check(beta)?;
+        let (v, stats) = fused_forward(self.value(x), self.value(gamma), self.value(beta), LN_EPS)?;
+        Ok(self.push(v, Op::LayerNorm { x, gamma, beta, stats }))
+    }
+
+    /// Fused multi-head attention with optional pair bias: one tape node for
+    /// `softmax(q k^T · scale + bias) v`. The backward pass recomputes the
+    /// attention probabilities (FlashAttention-style recompute).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on incompatible q/k/v/bias shapes.
+    pub fn attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        bias: Option<Var>,
+        scale: f32,
+    ) -> Result<Var> {
+        self.check(q)?;
+        self.check(k)?;
+        self.check(v)?;
+        if let Some(b) = bias {
+            self.check(b)?;
+        }
+        let out = flash_attention(
+            self.value(q),
+            self.value(k),
+            self.value(v),
+            bias.map(|b| self.value(b)),
+            scale,
+        )?;
+        Ok(self.push(out, Op::Attention { q, k, v, bias, scale }))
+    }
+
+    // ------------------------------------------------------------------
+    // Shape ops
+    // ------------------------------------------------------------------
+
+    /// Reshape to `dims` (element count must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on element-count mismatch.
+    pub fn reshape(&mut self, x: Var, dims: &[usize]) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).reshape(dims)?;
+        Ok(self.push(v, Op::Reshape(x)))
+    }
+
+    /// Axis permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid permutation.
+    pub fn permute(&mut self, x: Var, perm: &[usize]) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).permute(perm)?;
+        Ok(self.push(v, Op::Permute { x, perm: perm.to_vec() }))
+    }
+
+    /// Slice `[start, end)` along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis or range.
+    pub fn slice_axis(&mut self, x: Var, axis: usize, start: usize, end: usize) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).slice_axis(axis, start, end)?;
+        Ok(self.push(v, Op::SliceAxis { x, axis, start }))
+    }
+
+    /// Concatenation along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty input or shape mismatch.
+    pub fn concat(&mut self, xs: &[Var], axis: usize) -> Result<Var> {
+        for &x in xs {
+            self.check(x)?;
+        }
+        let tensors: Vec<&Tensor> = xs.iter().map(|&x| self.value(x)).collect();
+        let v = Tensor::concat(&tensors, axis)?;
+        Ok(self.push(v, Op::Concat { xs: xs.to_vec(), axis }))
+    }
+
+    /// Broadcast to `dims`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes are not broadcast-compatible.
+    pub fn broadcast_to(&mut self, x: Var, dims: &[usize]) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).broadcast_to(dims)?;
+        Ok(self.push(v, Op::BroadcastTo(x)))
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum along `axis` (axis dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis.
+    pub fn sum_axis(&mut self, x: Var, axis: usize) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).sum_axis(axis)?;
+        Ok(self.push(v, Op::SumAxis { x, axis }))
+    }
+
+    /// Mean along `axis` (axis dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis.
+    pub fn mean_axis(&mut self, x: Var, axis: usize) -> Result<Var> {
+        self.check(x)?;
+        let v = self.value(x).mean_axis(axis)?;
+        Ok(self.push(v, Op::MeanAxis { x, axis }))
+    }
+
+    /// Sum of all elements (scalar output).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn sum_all(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = Tensor::scalar(self.value(x).sum_all());
+        Ok(self.push(v, Op::SumAll(x)))
+    }
+
+    /// Mean of all elements (scalar output).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn mean_all(&mut self, x: Var) -> Result<Var> {
+        self.check(x)?;
+        let v = Tensor::scalar(self.value(x).mean_all());
+        Ok(self.push(v, Op::MeanAll(x)))
+    }
+
+    /// Inverted-dropout with keep-probability `1 - p`; deterministic in
+    /// `seed`. Identity when `p == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an invalid var.
+    pub fn dropout(&mut self, x: Var, p: f32, seed: u64) -> Result<Var> {
+        self.check(x)?;
+        if p <= 0.0 {
+            // Identity node keeps tape positions deterministic.
+            let v = self.value(x).clone();
+            return Ok(self.push(v, Op::Reshape(x)));
+        }
+        let keep = 1.0 - p;
+        let mask = Tensor::rand_uniform(self.value(x).dims(), 0.0, 1.0, seed)
+            .map(|u| if u < keep { 1.0 / keep } else { 0.0 });
+        let v = self.value(x).mul(&mask)?;
+        Ok(self.push(v, Op::Dropout { x, mask }))
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from a scalar `loss`.
+    ///
+    /// Gradients accumulate into every node; read them back with
+    /// [`Graph::grad`] / [`Graph::grads_by_name`]. Calling `backward` again
+    /// accumulates on top (call [`Graph::zero_grads`] to reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::NonScalarLoss`] if `loss` is not a scalar.
+    pub fn backward(&mut self, loss: Var) -> Result<()> {
+        self.check(loss)?;
+        if self.value(loss).len() != 1 {
+            return Err(AutogradError::NonScalarLoss {
+                dims: self.value(loss).dims().to_vec(),
+            });
+        }
+        let seed = Tensor::full(self.value(loss).dims(), 1.0);
+        self.backward_seeded(loss, seed)
+    }
+
+    /// Reverse-mode pass with an explicit seed cotangent (used internally by
+    /// checkpointing; the seed's shape must match `output`'s).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid vars or shape mismatch during VJPs.
+    pub fn backward_seeded(&mut self, output: Var, seed: Tensor) -> Result<()> {
+        self.check(output)?;
+        // Propagate in a scratch buffer so repeated backward calls accumulate
+        // leaf gradients without re-propagating previous totals.
+        let mut local: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        local[output.0] = Some(seed);
+        for i in (0..=output.0).rev() {
+            let Some(dy) = local[i].clone() else {
+                continue;
+            };
+            self.vjp(i, &dy, &mut local)?;
+        }
+        for (idx, g) in local.into_iter().enumerate() {
+            if let Some(g) = g {
+                accumulate(&mut self.grads, idx, g)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            *g = None;
+        }
+    }
+}
+
+/// Adds `delta` into `grads[idx]`, allocating on first touch.
+pub(crate) fn accumulate(
+    grads: &mut [Option<Tensor>],
+    idx: usize,
+    delta: Tensor,
+) -> Result<()> {
+    match &mut grads[idx] {
+        Some(g) => {
+            *g = g.add(&delta)?;
+            Ok(())
+        }
+        slot @ None => {
+            *slot = Some(delta);
+            Ok(())
+        }
+    }
+}

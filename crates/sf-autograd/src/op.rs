@@ -1,0 +1,347 @@
+//! Tape operations and their vector-Jacobian products.
+
+use crate::checkpoint::CheckpointFn;
+use crate::graph::{accumulate, Graph, Var};
+use crate::Result;
+use sf_tensor::ops::layernorm::{fused_backward, LayerNormStats};
+use sf_tensor::ops::softmax::softmax;
+use sf_tensor::Tensor;
+use std::rc::Rc;
+
+/// Rows per block in the two-step LN backward reduction (the Triton kernel's
+/// launch dimension; any positive value is numerically identical).
+const LN_BACKWARD_BLOCK_ROWS: usize = 64;
+
+pub(crate) enum Op {
+    Leaf { requires_grad: bool },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Gelu(Var),
+    Square(Var),
+    Exp(Var),
+    Ln(Var),
+    Sqrt(Var),
+    Matmul(Var, Var),
+    Softmax(Var),
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        stats: LayerNormStats,
+    },
+    Attention {
+        q: Var,
+        k: Var,
+        v: Var,
+        bias: Option<Var>,
+        scale: f32,
+    },
+    Reshape(Var),
+    Permute {
+        x: Var,
+        perm: Vec<usize>,
+    },
+    SliceAxis {
+        x: Var,
+        axis: usize,
+        start: usize,
+    },
+    Concat {
+        xs: Vec<Var>,
+        axis: usize,
+    },
+    BroadcastTo(Var),
+    SumAxis {
+        x: Var,
+        axis: usize,
+    },
+    MeanAxis {
+        x: Var,
+        axis: usize,
+    },
+    SumAll(Var),
+    MeanAll(Var),
+    Dropout {
+        x: Var,
+        mask: Tensor,
+    },
+    Checkpoint {
+        inputs: Vec<Var>,
+        f: Rc<CheckpointFn>,
+    },
+}
+
+impl Graph {
+    /// Applies node `i`'s vector-Jacobian product given upstream cotangent
+    /// `dy`, accumulating into the input slots.
+    pub(crate) fn vjp(&self, i: usize, dy: &Tensor, grads: &mut [Option<Tensor>]) -> Result<()> {
+        // Work around the borrow: values are read-only; grads are written.
+        // We clone small context out of the op first.
+        enum Pending {
+            None,
+            One(usize, Tensor),
+            Two(usize, Tensor, usize, Tensor),
+            Many(Vec<(usize, Tensor)>),
+        }
+        let pending: Pending = match &self.nodes[i].op {
+            Op::Leaf { .. } => Pending::None,
+            Op::Add(a, b) => {
+                let da = dy.reduce_to(self.nodes[a.0].value.dims())?;
+                let db = dy.reduce_to(self.nodes[b.0].value.dims())?;
+                Pending::Two(a.0, da, b.0, db)
+            }
+            Op::Sub(a, b) => {
+                let da = dy.reduce_to(self.nodes[a.0].value.dims())?;
+                let db = dy.neg().reduce_to(self.nodes[b.0].value.dims())?;
+                Pending::Two(a.0, da, b.0, db)
+            }
+            Op::Mul(a, b) => {
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
+                let da = dy.mul(bv)?.reduce_to(av.dims())?;
+                let db = dy.mul(av)?.reduce_to(bv.dims())?;
+                Pending::Two(a.0, da, b.0, db)
+            }
+            Op::Div(a, b) => {
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
+                let da = dy.div(bv)?.reduce_to(av.dims())?;
+                let db = dy
+                    .mul(av)?
+                    .div(&bv.square())?
+                    .neg()
+                    .reduce_to(bv.dims())?;
+                Pending::Two(a.0, da, b.0, db)
+            }
+            Op::Neg(x) => Pending::One(x.0, dy.neg()),
+            Op::Scale(x, s) => Pending::One(x.0, dy.mul_scalar(*s)),
+            Op::AddScalar(x) => Pending::One(x.0, dy.clone()),
+            Op::Relu(x) => {
+                let xv = &self.nodes[x.0].value;
+                let gate = xv.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                Pending::One(x.0, dy.mul(&gate)?)
+            }
+            Op::Sigmoid(x) => {
+                // d/dx sigmoid = y (1 - y); node value is y.
+                let y = &self.nodes[i].value;
+                let d = y.mul(&y.map(|v| 1.0 - v))?;
+                Pending::One(x.0, dy.mul(&d)?)
+            }
+            Op::Tanh(x) => {
+                let y = &self.nodes[i].value;
+                let d = y.map(|v| 1.0 - v * v);
+                Pending::One(x.0, dy.mul(&d)?)
+            }
+            Op::Gelu(x) => {
+                let d = self.nodes[x.0].value.gelu_derivative();
+                Pending::One(x.0, dy.mul(&d)?)
+            }
+            Op::Square(x) => {
+                let d = self.nodes[x.0].value.mul_scalar(2.0);
+                Pending::One(x.0, dy.mul(&d)?)
+            }
+            Op::Exp(x) => {
+                let y = &self.nodes[i].value;
+                Pending::One(x.0, dy.mul(y)?)
+            }
+            Op::Ln(x) => {
+                let inv = self.nodes[x.0].value.map(|v| 1.0 / v);
+                Pending::One(x.0, dy.mul(&inv)?)
+            }
+            Op::Sqrt(x) => {
+                // d/dx sqrt = 0.5 / y.
+                let y = &self.nodes[i].value;
+                let d = y.map(|v| if v > 0.0 { 0.5 / v } else { 0.0 });
+                Pending::One(x.0, dy.mul(&d)?)
+            }
+            Op::Matmul(a, b) => {
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
+                let da = dy.matmul(&bv.transpose()?)?.reduce_to(av.dims())?;
+                let db = matmul_rhs_grad(av, bv, dy)?;
+                Pending::Two(a.0, da, b.0, db)
+            }
+            Op::Softmax(x) => {
+                let y = &self.nodes[i].value;
+                Pending::One(x.0, softmax_backward(y, dy)?)
+            }
+            Op::LayerNorm { x, gamma, beta, stats } => {
+                let xv = &self.nodes[x.0].value;
+                let gv = &self.nodes[gamma.0].value;
+                let (dx, dg, db) =
+                    fused_backward(dy, xv, gv, stats, LN_BACKWARD_BLOCK_ROWS)?;
+                Pending::Many(vec![(x.0, dx), (gamma.0, dg), (beta.0, db)])
+            }
+            Op::Attention { q, k, v, bias, scale } => {
+                let qv = &self.nodes[q.0].value;
+                let kv = &self.nodes[k.0].value;
+                let vv = &self.nodes[v.0].value;
+                let bv = bias.map(|b| &self.nodes[b.0].value);
+                let (dq, dk, dvv, dbias) = attention_backward(qv, kv, vv, bv, *scale, dy)?;
+                let mut outs = vec![(q.0, dq), (k.0, dk), (v.0, dvv)];
+                if let (Some(b), Some(dbias)) = (bias, dbias) {
+                    outs.push((b.0, dbias));
+                }
+                Pending::Many(outs)
+            }
+            Op::Reshape(x) => {
+                let dims = self.nodes[x.0].value.dims().to_vec();
+                Pending::One(x.0, dy.reshape(&dims)?)
+            }
+            Op::Permute { x, perm } => {
+                let mut inv = vec![0usize; perm.len()];
+                for (o, &p) in perm.iter().enumerate() {
+                    inv[p] = o;
+                }
+                Pending::One(x.0, dy.permute(&inv)?)
+            }
+            Op::SliceAxis { x, axis, start } => {
+                let xv = &self.nodes[x.0].value;
+                Pending::One(x.0, unslice(dy, xv.dims(), *axis, *start)?)
+            }
+            Op::Concat { xs, axis } => {
+                let mut outs = Vec::with_capacity(xs.len());
+                let mut offset = 0usize;
+                for &x in xs {
+                    let len = self.nodes[x.0].value.dims()[*axis];
+                    let piece = dy.slice_axis(*axis, offset, offset + len)?;
+                    outs.push((x.0, piece));
+                    offset += len;
+                }
+                Pending::Many(outs)
+            }
+            Op::BroadcastTo(x) => {
+                let dims = self.nodes[x.0].value.dims().to_vec();
+                Pending::One(x.0, dy.reduce_to(&dims)?)
+            }
+            Op::SumAxis { x, axis } => {
+                let dims = self.nodes[x.0].value.dims().to_vec();
+                let expanded = dy.unsqueeze(*axis)?.broadcast_to(&dims)?;
+                Pending::One(x.0, expanded)
+            }
+            Op::MeanAxis { x, axis } => {
+                let dims = self.nodes[x.0].value.dims().to_vec();
+                let n = dims[*axis].max(1) as f32;
+                let expanded = dy.unsqueeze(*axis)?.broadcast_to(&dims)?;
+                Pending::One(x.0, expanded.mul_scalar(1.0 / n))
+            }
+            Op::SumAll(x) => {
+                let dims = self.nodes[x.0].value.dims().to_vec();
+                Pending::One(x.0, Tensor::full(&dims, dy.item()))
+            }
+            Op::MeanAll(x) => {
+                let dims = self.nodes[x.0].value.dims().to_vec();
+                let n: usize = dims.iter().product::<usize>().max(1);
+                Pending::One(x.0, Tensor::full(&dims, dy.item() / n as f32))
+            }
+            Op::Dropout { x, mask } => Pending::One(x.0, dy.mul(mask)?),
+            Op::Checkpoint { inputs, f } => {
+                let inputs = inputs.clone();
+                let f = Rc::clone(f);
+                let input_values: Vec<Tensor> =
+                    inputs.iter().map(|&v| self.nodes[v.0].value.clone()).collect();
+                let grads =
+                    crate::checkpoint::checkpoint_backward(&f, &input_values, dy.clone())?;
+                Pending::Many(
+                    inputs
+                        .iter()
+                        .zip(grads)
+                        .filter_map(|(v, g)| g.map(|g| (v.0, g)))
+                        .collect(),
+                )
+            }
+        };
+
+        match pending {
+            Pending::None => Ok(()),
+            Pending::One(idx, g) => accumulate(grads, idx, g),
+            Pending::Two(ai, ga, bi, gb) => {
+                accumulate(grads, ai, ga)?;
+                accumulate(grads, bi, gb)
+            }
+            Pending::Many(items) => {
+                for (idx, g) in items {
+                    accumulate(grads, idx, g)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `dL/dB` for `C = A @ B`, handling the rhs-broadcast case where `B` is
+/// unbatched but `A`/`dy` are batched (sum over the batch).
+fn matmul_rhs_grad(a: &Tensor, b: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let db_full = a.transpose()?.matmul(dy)?;
+    if db_full.dims() == b.dims() {
+        return Ok(db_full);
+    }
+    // Sum leading batch dims down to b's shape.
+    db_full.reduce_to(b.dims()).map_err(Into::into)
+}
+
+/// `dx = y * (dy - sum(dy * y, last_axis, keepdim))` for `y = softmax(x)`.
+fn softmax_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let rank = y.rank();
+    let prod = dy.mul(y)?;
+    let s = prod.sum_axis(rank - 1)?.unsqueeze(rank - 1)?;
+    let centered = dy.sub(&s.broadcast_to(y.dims())?)?;
+    y.mul(&centered).map_err(Into::into)
+}
+
+/// Recompute-based backward for fused attention with pair bias.
+///
+/// Returns `(dq, dk, dv, dbias)`.
+#[allow(clippy::type_complexity)]
+fn attention_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    bias: Option<&Tensor>,
+    scale: f32,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor, Option<Tensor>)> {
+    // Recompute probabilities (this is the memory saving FlashAttention
+    // backward also performs; on GPU it is tiled, here we materialize).
+    let mut logits = q.matmul(&k.transpose()?)?.mul_scalar(scale);
+    if let Some(b) = bias {
+        logits = logits.add(b)?;
+    }
+    let p = softmax(&logits)?;
+    let dv = p.transpose()?.matmul(dy)?;
+    let dp = dy.matmul(&v.transpose()?)?;
+    let dlogits = softmax_backward(&p, &dp)?;
+    let dq = dlogits.matmul(k)?.mul_scalar(scale);
+    let dk = dlogits.transpose()?.matmul(q)?.mul_scalar(scale);
+    let dbias = match bias {
+        Some(b) => Some(dlogits.reduce_to(b.dims())?),
+        None => None,
+    };
+    Ok((dq, dk, dv, dbias))
+}
+
+/// Adjoint of `slice_axis`: scatters `dy` back into a zero tensor of the
+/// original shape at `[start, start + len)` along `axis`.
+fn unslice(dy: &Tensor, full_dims: &[usize], axis: usize, start: usize) -> Result<Tensor> {
+    let mut out = Tensor::zeros(full_dims);
+    let len = dy.dims()[axis];
+    let full_axis = full_dims[axis];
+    let outer: usize = full_dims[..axis].iter().product();
+    let inner: usize = full_dims[axis + 1..].iter().product();
+    for o in 0..outer {
+        for a in 0..len {
+            let src = (o * len + a) * inner;
+            let dst = (o * full_axis + start + a) * inner;
+            out.data_mut()[dst..dst + inner].copy_from_slice(&dy.data()[src..src + inner]);
+        }
+    }
+    Ok(out)
+}

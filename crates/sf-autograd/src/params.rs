@@ -1,0 +1,211 @@
+//! Named parameter storage shared across training steps.
+//!
+//! The tape is rebuilt every step, but parameters persist. A [`ParamStore`]
+//! owns the master `f32` copies; [`Graph::use_param`] binds one into the
+//! current tape, and [`Graph::grads_by_name`] maps gradients back to names
+//! for the optimizer (multiple uses of the same parameter — e.g. AlphaFold
+//! recycling iterations — accumulate correctly).
+
+use crate::graph::{Graph, Var};
+use crate::{AutogradError, Result};
+use sf_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Master storage of named trainable parameters.
+///
+/// `BTreeMap` keeps iteration deterministic, which matters for bitwise
+/// reproducible training runs.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: BTreeMap<String, Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Returns the tensor for `name`, initializing it with `init` on first
+    /// access.
+    pub fn get_or_init(&mut self, name: &str, init: impl FnOnce() -> Tensor) -> &Tensor {
+        self.params.entry(name.to_string()).or_insert_with(init)
+    }
+
+    /// Looks up an existing parameter.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.params.get(name)
+    }
+
+    /// Mutable access to an existing parameter (used by optimizers).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        self.params.get_mut(name)
+    }
+
+    /// Overwrites (or inserts) a parameter tensor.
+    pub fn insert(&mut self, name: impl Into<String>, value: Tensor) {
+        self.params.insert(name.into(), value);
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar element count across all parameters.
+    pub fn num_elements(&self) -> usize {
+        self.params.values().map(Tensor::len).sum()
+    }
+
+    /// Iterates `(name, tensor)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates mutably in deterministic order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Tensor)> {
+        self.params.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sorted parameter names.
+    pub fn names(&self) -> Vec<String> {
+        self.params.keys().cloned().collect()
+    }
+
+    /// Global L2 norm over all parameters (diagnostic).
+    pub fn global_norm(&self) -> f32 {
+        self.params
+            .values()
+            .map(|t| {
+                let n = t.norm() as f64;
+                n * n
+            })
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+}
+
+impl Graph {
+    /// Binds a stored parameter into this tape as a trainable leaf,
+    /// recording the name so gradients can be read back by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::UnknownParam`] if `name` is absent.
+    pub fn use_param(&mut self, store: &ParamStore, name: &str) -> Result<Var> {
+        let tensor = store
+            .get(name)
+            .ok_or_else(|| AutogradError::UnknownParam(name.to_string()))?
+            .clone();
+        let var = self.param(tensor);
+        self.bindings.push((name.to_string(), var));
+        Ok(var)
+    }
+
+    /// Like [`Graph::use_param`] but initializes the parameter on first use.
+    pub fn use_param_or_init(
+        &mut self,
+        store: &mut ParamStore,
+        name: &str,
+        init: impl FnOnce() -> Tensor,
+    ) -> Var {
+        let tensor = store.get_or_init(name, init).clone();
+        let var = self.param(tensor);
+        self.bindings.push((name.to_string(), var));
+        var
+    }
+
+    /// Gradients accumulated per bound parameter name. Parameters bound
+    /// multiple times (weight sharing / recycling) have their gradients
+    /// summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if gradient shapes for the same name disagree
+    /// (which would indicate tape corruption).
+    pub fn grads_by_name(&self) -> Result<BTreeMap<String, Tensor>> {
+        let mut out: BTreeMap<String, Tensor> = BTreeMap::new();
+        for (name, var) in &self.bindings {
+            let Some(g) = self.grad(*var) else { continue };
+            match out.get_mut(name) {
+                Some(acc) => *acc = acc.add(g)?,
+                None => {
+                    out.insert(name.clone(), g.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_init_and_lookup() {
+        let mut store = ParamStore::new();
+        let t = store.get_or_init("w", || Tensor::ones(&[2, 2])).clone();
+        assert_eq!(t.sum_all(), 4.0);
+        // Second init closure must not run.
+        let t2 = store.get_or_init("w", || panic!("should not init twice"));
+        assert_eq!(t2.sum_all(), 4.0);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_elements(), 4);
+    }
+
+    #[test]
+    fn grads_by_name_single_use() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let mut g = Graph::new();
+        let w = g.use_param(&store, "w").unwrap();
+        let y = g.square(w).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        g.backward(loss).unwrap();
+        let grads = g.grads_by_name().unwrap();
+        assert_eq!(grads["w"].data(), &[6.0]);
+    }
+
+    #[test]
+    fn shared_weight_grads_accumulate() {
+        // loss = w*x1 + w*x2 -> dL/dw = x1 + x2 via two separate bindings.
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut g = Graph::new();
+        let w1 = g.use_param(&store, "w").unwrap();
+        let w2 = g.use_param(&store, "w").unwrap();
+        let x1 = g.constant(Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let x2 = g.constant(Tensor::from_vec(vec![5.0], &[1]).unwrap());
+        let t1 = g.mul(w1, x1).unwrap();
+        let t2 = g.mul(w2, x2).unwrap();
+        let s = g.add(t1, t2).unwrap();
+        let loss = g.sum_all(s).unwrap();
+        g.backward(loss).unwrap();
+        let grads = g.grads_by_name().unwrap();
+        assert_eq!(grads["w"].data(), &[7.0]);
+    }
+
+    #[test]
+    fn unknown_param_errors() {
+        let store = ParamStore::new();
+        let mut g = Graph::new();
+        assert!(matches!(
+            g.use_param(&store, "missing"),
+            Err(AutogradError::UnknownParam(_))
+        ));
+    }
+
+    #[test]
+    fn global_norm() {
+        let mut store = ParamStore::new();
+        store.insert("a", Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        store.insert("b", Tensor::from_vec(vec![4.0], &[1]).unwrap());
+        assert!((store.global_norm() - 5.0).abs() < 1e-6);
+    }
+}

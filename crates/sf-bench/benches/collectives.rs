@@ -1,0 +1,49 @@
+//! Microbenchmarks of the functional ring collectives (the algorithms the
+//! cluster simulator prices), across rank counts and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_cluster::collective::{all_gather, all_to_all, ring_all_reduce};
+use std::hint::black_box;
+
+fn make_buffers(n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|r| (0..len).map(|i| (r * 31 + i) as f32 * 0.01).collect())
+        .collect()
+}
+
+fn bench_ring_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_all_reduce");
+    group.sample_size(20);
+    for &ranks in &[4usize, 8, 16] {
+        let len = 16 * 1024;
+        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &n| {
+            b.iter_batched(
+                || make_buffers(n, len),
+                |mut buffers| {
+                    black_box(ring_all_reduce(&mut buffers));
+                    buffers
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_and_a2a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_a2a");
+    group.sample_size(20);
+    let n = 8usize;
+    let shards = make_buffers(n, 8 * 1024);
+    group.bench_function("all_gather_8x8k", |b| {
+        b.iter(|| black_box(all_gather(black_box(&shards))))
+    });
+    let inputs = make_buffers(n, n * 1024);
+    group.bench_function("all_to_all_8x8k", |b| {
+        b.iter(|| black_box(all_to_all(black_box(&inputs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_all_reduce, bench_gather_and_a2a);
+criterion_main!(benches);

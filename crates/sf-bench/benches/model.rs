@@ -1,0 +1,62 @@
+//! Whole-model benchmarks: the real tiny AlphaFold's forward and
+//! forward+backward, with gradient checkpointing on and off (the real-cost
+//! side of the ckpt trade-off the paper exploits under DAP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_autograd::{Graph, ParamStore};
+use sf_model::{AlphaFold, FeatureBatch, ModelConfig};
+use std::hint::black_box;
+
+fn tiny() -> ModelConfig {
+    let mut cfg = ModelConfig::tiny();
+    cfg.evoformer_blocks = 1;
+    cfg.extra_msa_blocks = 0;
+    cfg.template_blocks = 0;
+    cfg
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alphafold_tiny");
+    group.sample_size(10);
+    let cfg = tiny();
+    let batch = FeatureBatch::synthetic(&cfg, 1);
+    // Warm the parameter store once so every iteration reuses weights.
+    let mut store = ParamStore::new();
+    {
+        let model = AlphaFold::new(cfg.clone());
+        let mut g = Graph::new();
+        let _ = model.forward(&mut g, &mut store, &batch).expect("warmup");
+    }
+
+    group.bench_function("forward", |b| {
+        let model = AlphaFold::new(cfg.clone());
+        b.iter(|| {
+            let mut g = Graph::new();
+            black_box(model.forward(&mut g, &mut store, &batch).expect("fwd"))
+        })
+    });
+    group.bench_function("forward_backward", |b| {
+        let model = AlphaFold::new(cfg.clone());
+        b.iter(|| {
+            let mut g = Graph::new();
+            let out = model.forward(&mut g, &mut store, &batch).expect("fwd");
+            g.backward(out.loss).expect("bwd");
+            black_box(g.grads_by_name().expect("grads").len())
+        })
+    });
+    group.bench_function("forward_backward_checkpointed", |b| {
+        let mut ck = cfg.clone();
+        ck.gradient_checkpointing = true;
+        let model = AlphaFold::new(ck);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let out = model.forward(&mut g, &mut store, &batch).expect("fwd");
+            g.backward(out.loss).expect("bwd");
+            black_box(g.activation_bytes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the training subroutines §3.3.1 fuses: Adam + SWA
+//! (separate passes vs the single fused pass) and gradient clipping
+//! (per-tensor vs bucketed over DDP-style buffers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_autograd::ParamStore;
+use sf_optim::{clip_by_global_norm, Adam, AdamConfig, FusedAdamSwa, GradBuckets, Grads, Swa};
+use sf_tensor::Tensor;
+use std::hint::black_box;
+
+/// A parameter set shaped like the paper's pain point: many small tensors.
+fn many_small_params(tensors: usize, elems: usize) -> (ParamStore, Grads) {
+    let mut store = ParamStore::new();
+    let mut grads = Grads::new();
+    for i in 0..tensors {
+        let name = format!("p{i:05}");
+        store.insert(name.clone(), Tensor::randn(&[elems], i as u64));
+        grads.insert(name, Tensor::randn(&[elems], 10_000 + i as u64));
+    }
+    (store, grads)
+}
+
+fn bench_adam_swa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adam_swa");
+    group.sample_size(10);
+    let (tensors, elems) = (400usize, 256usize);
+    group.bench_function("unfused_adam_then_swa", |b| {
+        let (store, grads) = many_small_params(tensors, elems);
+        b.iter_batched(
+            || (store.clone(), Adam::new(AdamConfig::default()), Swa::new(0.999)),
+            |(mut store, mut adam, mut swa)| {
+                adam.step(&mut store, black_box(&grads), 1e-3);
+                swa.update(&store);
+                store
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fused_adam_swa", |b| {
+        let (store, grads) = many_small_params(tensors, elems);
+        b.iter_batched(
+            || (store.clone(), FusedAdamSwa::new(AdamConfig::default(), 0.999)),
+            |(mut store, mut fused)| {
+                fused.step(&mut store, black_box(&grads), 1e-3);
+                store
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_grad_clip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grad_clip");
+    group.sample_size(10);
+    let (_, grads) = many_small_params(2000, 64);
+    group.bench_function("per_tensor_norm_and_scale", |b| {
+        b.iter_batched(
+            || grads.clone(),
+            |mut g| {
+                black_box(clip_by_global_norm(&mut g, 0.5));
+                g
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bucketed_norm_and_scale", |b| {
+        b.iter_batched(
+            || GradBuckets::pack(&grads, 25 * 1024 * 1024),
+            |mut buckets| {
+                black_box(buckets.clip(0.5));
+                buckets
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adam_swa, bench_grad_clip);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Throughput of the two data pipelines under a straggler workload
+//! (Figure 5 at benchmark scale), with real threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_data::loader::{BlockingLoader, Dataset, LoaderConfig, NonBlockingPipeline};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct StragglerWorkload {
+    n: usize,
+}
+
+impl Dataset for StragglerWorkload {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn prepare(&self, index: usize) -> usize {
+        // Every 8th batch is 10x slower.
+        let ms = if index.is_multiple_of(8) { 10 } else { 1 };
+        std::thread::sleep(Duration::from_millis(ms));
+        index
+    }
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_pipeline");
+    group.sample_size(10);
+    let n = 32usize;
+    let train = Duration::from_millis(2);
+    group.bench_function("blocking_loader", |b| {
+        b.iter(|| {
+            let ds = Arc::new(StragglerWorkload { n });
+            let mut sum = 0usize;
+            for (i, _) in
+                BlockingLoader::new(ds, (0..n).collect(), LoaderConfig { num_workers: 4 })
+            {
+                std::thread::sleep(train);
+                sum += i;
+            }
+            sum
+        })
+    });
+    group.bench_function("nonblocking_pipeline", |b| {
+        b.iter(|| {
+            let ds = Arc::new(StragglerWorkload { n });
+            let mut sum = 0usize;
+            for (i, _) in
+                NonBlockingPipeline::new(ds, (0..n).collect(), LoaderConfig { num_workers: 4 })
+            {
+                std::thread::sleep(train);
+                sum += i;
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Simulator-side benchmarks: building the 100k-kernel step graph, running
+//! the fusion pipeline, and simulating cluster steps — the machinery behind
+//! every figure. These guard against the harness itself becoming too slow
+//! to iterate with.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scalefold::{build_graph, OptimizationSet};
+use sf_cluster::{ClusterConfig, ClusterSim};
+use sf_model::ModelConfig;
+use sf_opgraph::builder::StepGraph;
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_graph");
+    group.sample_size(10);
+    let cfg = ModelConfig::paper();
+    group.bench_function("build_reference", |b| {
+        b.iter(|| black_box(StepGraph::reference(&cfg, 1)).ops.len())
+    });
+    group.bench_function("build_fully_optimized", |b| {
+        b.iter(|| black_box(build_graph(&cfg, &OptimizationSet::scalefold())).ops.len())
+    });
+    group.finish();
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    let cfg = ModelConfig::paper();
+    let graph = StepGraph::reference(&cfg, 1);
+    group.bench_function("simulate_40_steps_dp128_dap8", |b| {
+        let sim = ClusterSim::new(&graph, ClusterConfig::eos(128, 8));
+        b.iter(|| black_box(sim.mean_step_s(40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_cluster_sim);
+criterion_main!(benches);

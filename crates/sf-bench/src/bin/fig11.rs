@@ -1,0 +1,5 @@
+//! Regenerates Figure 11: from-scratch pretraining to 0.9 avg lDDT-Ca.
+fn main() {
+    sf_bench::banner("Figure 11: pretraining from scratch");
+    println!("{}", scalefold::experiments::fig11());
+}

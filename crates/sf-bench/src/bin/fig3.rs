@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: the DAP scalability-barrier decomposition.
+fn main() {
+    sf_bench::banner("Figure 3: scalability barriers");
+    println!("{}", scalefold::experiments::fig3());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4: sorted batch-preparation time distribution.
+fn main() {
+    sf_bench::banner("Figure 4: batch preparation time");
+    println!("{}", scalefold::experiments::fig4(2000));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7: step time vs OpenFold / FastFold and DAP scaling.
+fn main() {
+    sf_bench::banner("Figure 7: step time vs baselines");
+    println!("{}", scalefold::experiments::fig7());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8: the cumulative optimization ladder.
+fn main() {
+    sf_bench::banner("Figure 8: optimization ladder");
+    println!("{}", scalefold::experiments::fig8());
+}

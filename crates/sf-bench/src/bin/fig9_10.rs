@@ -1,0 +1,5 @@
+//! Regenerates Figures 9 & 10: MLPerf time-to-train with/without async eval.
+fn main() {
+    sf_bench::banner("Figures 9 & 10: time to train");
+    println!("{}", scalefold::experiments::fig9_fig10());
+}

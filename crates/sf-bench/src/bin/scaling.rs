@@ -1,0 +1,8 @@
+//! Regenerates the scalability claim: throughput vs GPU count for OpenFold
+//! (DP-only, capped at 256), FastFold (512), and ScaleFold (2048 training
+//! GPUs via DP 256 x DAP-8).
+fn main() {
+    sf_bench::banner("Scalability: 2048 training GPUs");
+    let points = scalefold::experiments::scaling();
+    print!("{}", scalefold::experiments::format_scaling(&points));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the kernel breakdown of one reference training step.
+fn main() {
+    sf_bench::banner("Table 1: kernel breakdown");
+    println!("{}", scalefold::experiments::table1());
+}

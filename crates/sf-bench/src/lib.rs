@@ -1,0 +1,23 @@
+//! Benchmark harness for the ScaleFold reproduction.
+//!
+//! Two kinds of targets:
+//!
+//! - **Figure/table binaries** (`src/bin/`): each regenerates one table or
+//!   figure of the paper's evaluation and prints the same rows/series the
+//!   paper reports, annotated with the paper's published numbers —
+//!   `table1`, `fig3`, `fig4`, `fig5`, `fig7`, `fig8`, `fig9_10`, `fig11`,
+//!   plus `all_figures` which runs the lot (this is what populates
+//!   EXPERIMENTS.md).
+//! - **Criterion microbenchmarks** (`benches/`): the *real* CPU
+//!   implementations of the paper's fused kernels against their naive
+//!   counterparts — LayerNorm, flash attention with pair bias, bundled
+//!   GEMMs, fused Adam+SWA, bucketed gradient clipping, the two data
+//!   pipelines, and whole-model forward/backward with and without gradient
+//!   checkpointing.
+
+/// Banner printed by every figure binary.
+pub fn banner(title: &str) {
+    println!("==============================================================");
+    println!("ScaleFold-rs reproduction — {title}");
+    println!("==============================================================");
+}

@@ -1,0 +1,240 @@
+//! Time-to-train accounting: initialization, training, and evaluation —
+//! synchronous (on the training nodes) or asynchronous (offloaded to
+//! dedicated nodes), with the CPU-DRAM evaluation-data cache (§3.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Where evaluation input data is read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalDataSource {
+    /// Parallel filesystem — slow per-sample loads.
+    Disk,
+    /// Pre-cached in CPU DRAM (ScaleFold's optimization).
+    DramCache,
+}
+
+impl EvalDataSource {
+    /// Per-sample load time, seconds.
+    pub fn load_s(self) -> f64 {
+        match self {
+            EvalDataSource::Disk => 0.25,
+            EvalDataSource::DramCache => 0.005,
+        }
+    }
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Validation samples per evaluation pass (MLPerf OpenFold: 180).
+    pub num_samples: usize,
+    /// Evaluate every this many training steps.
+    pub every_steps: u64,
+    /// Model-inference time per sample on the eval nodes, seconds.
+    pub per_sample_s: f64,
+    /// GPUs serving evaluation (shared with or separate from training).
+    pub eval_gpus: usize,
+    /// Data source.
+    pub source: EvalDataSource,
+    /// Offload evaluation to dedicated nodes (training never pauses).
+    pub asynchronous: bool,
+}
+
+impl EvalConfig {
+    /// MLPerf HPC v3.0 OpenFold-style evaluation (180 validation samples),
+    /// synchronous on the training nodes, reading from disk.
+    pub fn mlperf_sync() -> Self {
+        EvalConfig {
+            num_samples: 180,
+            every_steps: 25,
+            per_sample_s: 2.4,
+            eval_gpus: 32,
+            source: EvalDataSource::Disk,
+            asynchronous: false,
+        }
+    }
+
+    /// ScaleFold: asynchronous evaluation on 32 dedicated GPUs with the
+    /// DRAM cache.
+    pub fn scalefold_async() -> Self {
+        EvalConfig {
+            asynchronous: true,
+            source: EvalDataSource::DramCache,
+            ..EvalConfig::mlperf_sync()
+        }
+    }
+
+    /// Wall-clock duration of one evaluation pass.
+    pub fn pass_duration_s(&self) -> f64 {
+        let per_sample = self.per_sample_s + self.source.load_s();
+        (self.num_samples as f64 / self.eval_gpus.max(1) as f64).ceil() * per_sample
+    }
+}
+
+/// Models the one-time initialization cost of a run (the paper's "~2
+/// minutes initialization and compilation"): torch.compile autotuning +
+/// CUDA-graph captures for every recycling shape + NCCL communicator
+/// bring-up (grows logarithmically with the rank count).
+pub fn init_time_s(eager_step_s: f64, recycle_variants: usize, total_ranks: usize) -> f64 {
+    // torch.compile: tens of kernels x seconds-scale Triton autotuning.
+    let compile_s = 75.0;
+    // One eager capture pass per recycling shape.
+    let capture_s = recycle_variants as f64 * eager_step_s;
+    // NCCL init: tree setup across the fleet.
+    let nccl_s = 2.0 * (total_ranks.max(2) as f64).log2();
+    compile_s + capture_s + nccl_s
+}
+
+/// A full training-run timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainTimeline {
+    /// One-time initialization + compilation overhead, seconds (the paper's
+    /// "~2 minutes initialization and compilation").
+    pub init_s: f64,
+    /// Training steps to convergence.
+    pub steps: u64,
+    /// Mean step time, seconds.
+    pub step_s: f64,
+    /// Evaluation configuration.
+    pub eval: EvalConfig,
+}
+
+/// The time-to-train breakdown (the paper's Figure 9 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeToTrain {
+    /// Initialization share, seconds.
+    pub init_s: f64,
+    /// Pure training share, seconds.
+    pub train_s: f64,
+    /// Evaluation share blocking training, seconds (0 when async and eval
+    /// keeps up).
+    pub eval_s: f64,
+    /// Total, seconds.
+    pub total_s: f64,
+    /// True if asynchronous evaluation could NOT keep up with training
+    /// (eval pass longer than the interval between evals) — the paper's
+    /// "evaluation time must be smaller than training time" constraint.
+    pub eval_is_bottleneck: bool,
+}
+
+impl TrainTimeline {
+    /// Computes the time-to-train breakdown.
+    pub fn time_to_train(&self) -> TimeToTrain {
+        let train_s = self.steps as f64 * self.step_s;
+        let passes = (self.steps / self.eval.every_steps.max(1)) as f64;
+        let pass = self.eval.pass_duration_s();
+        let interval_s = self.eval.every_steps as f64 * self.step_s;
+        if self.eval.asynchronous {
+            let bottleneck = pass > interval_s;
+            // Async eval blocks nothing unless it cannot keep up; then the
+            // final straggling passes delay the result signal.
+            let eval_s = if bottleneck {
+                passes * (pass - interval_s)
+            } else {
+                0.0
+            };
+            TimeToTrain {
+                init_s: self.init_s,
+                train_s,
+                eval_s,
+                total_s: self.init_s + train_s + eval_s,
+                eval_is_bottleneck: bottleneck,
+            }
+        } else {
+            let eval_s = passes * pass;
+            TimeToTrain {
+                init_s: self.init_s,
+                train_s,
+                eval_s,
+                total_s: self.init_s + train_s + eval_s,
+                eval_is_bottleneck: false,
+            }
+        }
+    }
+
+    /// Evaluation share of total time (the paper: grows from 22% to 43% as
+    /// the step time is optimized, before async eval removes it).
+    pub fn eval_fraction(&self) -> f64 {
+        let t = self.time_to_train();
+        if t.total_s == 0.0 {
+            0.0
+        } else {
+            t.eval_s / t.total_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(step_s: f64, eval: EvalConfig) -> TrainTimeline {
+        TrainTimeline {
+            init_s: 120.0,
+            steps: 400,
+            step_s,
+            eval,
+        }
+    }
+
+    #[test]
+    fn sync_eval_share_grows_as_steps_shrink() {
+        // Figure 9's first observation: optimizing step time inflates the
+        // evaluation share (22% -> 43% in the paper).
+        let slow = timeline(2.0, EvalConfig::mlperf_sync()).eval_fraction();
+        let fast = timeline(0.65, EvalConfig::mlperf_sync()).eval_fraction();
+        assert!(fast > slow, "fast {fast:.2} vs slow {slow:.2}");
+        assert!((0.1..0.6).contains(&slow), "slow share {slow:.2}");
+        assert!((0.25..0.75).contains(&fast), "fast share {fast:.2}");
+    }
+
+    #[test]
+    fn async_eval_removes_eval_time() {
+        let sync = timeline(0.65, EvalConfig::mlperf_sync()).time_to_train();
+        let asy = timeline(0.65, EvalConfig::scalefold_async()).time_to_train();
+        assert!(asy.total_s < sync.total_s);
+        assert_eq!(asy.eval_s, 0.0);
+        assert!(!asy.eval_is_bottleneck);
+    }
+
+    #[test]
+    fn async_eval_without_cache_can_bottleneck() {
+        // Async but reading from disk: a pass may outlast the interval.
+        let mut eval = EvalConfig::scalefold_async();
+        eval.source = EvalDataSource::Disk;
+        eval.eval_gpus = 8;
+        let t = timeline(0.3, eval).time_to_train();
+        assert!(t.eval_is_bottleneck);
+        assert!(t.eval_s > 0.0);
+    }
+
+    #[test]
+    fn dram_cache_shortens_eval_pass() {
+        let disk = EvalConfig {
+            source: EvalDataSource::Disk,
+            ..EvalConfig::mlperf_sync()
+        };
+        let dram = EvalConfig {
+            source: EvalDataSource::DramCache,
+            ..EvalConfig::mlperf_sync()
+        };
+        assert!(dram.pass_duration_s() < disk.pass_duration_s());
+    }
+
+    #[test]
+    fn init_time_lands_near_two_minutes_at_paper_scale() {
+        // 2080 ranks, ~4 s eager step, 4 recycling shapes -> ~Figure 9's
+        // "~2 minutes initialization and compilation".
+        let t = init_time_s(4.0, 4, 2080);
+        assert!((90.0..180.0).contains(&t), "init {t:.0} s");
+        // More ranks and more shapes can only increase it.
+        assert!(init_time_s(4.0, 4, 4160) > t);
+        assert!(init_time_s(4.0, 8, 2080) > t);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let t = timeline(1.0, EvalConfig::mlperf_sync()).time_to_train();
+        assert!((t.total_s - (t.init_s + t.train_s + t.eval_s)).abs() < 1e-9);
+    }
+}

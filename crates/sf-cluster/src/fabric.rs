@@ -1,0 +1,133 @@
+//! Interconnect model: NVLink within a node, InfiniBand across nodes, and
+//! analytic ring-collective costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Link characteristics of the cluster fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// Per-GPU NVLink bandwidth within a node, GB/s (unidirectional).
+    pub nvlink_gbs: f64,
+    /// Per-GPU InfiniBand bandwidth across nodes, GB/s.
+    pub ib_gbs: f64,
+    /// Per-hop collective latency, microseconds (launch + wire).
+    pub latency_us: f64,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+}
+
+impl FabricSpec {
+    /// NVIDIA Eos-like node: H100 + NVLink4 (450 GB/s/GPU) + NDR400
+    /// InfiniBand (~50 GB/s/GPU), 8 GPUs per node.
+    pub fn eos() -> Self {
+        FabricSpec {
+            nvlink_gbs: 450.0,
+            ib_gbs: 50.0,
+            latency_us: 15.0,
+            gpus_per_node: 8,
+        }
+    }
+
+    /// A100 DGX SuperPod-like node (NVLink3 300 GB/s, HDR200 ~25 GB/s).
+    pub fn superpod_a100() -> Self {
+        FabricSpec {
+            nvlink_gbs: 300.0,
+            ib_gbs: 25.0,
+            latency_us: 18.0,
+            gpus_per_node: 8,
+        }
+    }
+
+    /// Bandwidth (bytes/s) between `ranks` peers: NVLink when the group
+    /// fits inside one node, IB otherwise.
+    pub fn group_bw_bytes(&self, ranks: usize) -> f64 {
+        if ranks <= self.gpus_per_node {
+            self.nvlink_gbs * 1e9
+        } else {
+            self.ib_gbs * 1e9
+        }
+    }
+
+    /// Ring all-reduce of `bytes` per rank across `ranks` peers:
+    /// `2 (n-1)/n · bytes / bw + 2 (n-1) · latency`.
+    pub fn all_reduce_s(&self, bytes: f64, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let n = ranks as f64;
+        let bw = self.group_bw_bytes(ranks);
+        2.0 * (n - 1.0) / n * bytes / bw + 2.0 * (n - 1.0) * self.latency_us * 1e-6
+    }
+
+    /// Ring all-gather of `bytes` (each rank's shard) across `ranks`:
+    /// `(n-1) · bytes / bw + (n-1) · latency`.
+    pub fn all_gather_s(&self, shard_bytes: f64, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let n = ranks as f64;
+        let bw = self.group_bw_bytes(ranks);
+        (n - 1.0) * shard_bytes / bw + (n - 1.0) * self.latency_us * 1e-6
+    }
+
+    /// All-to-all of `bytes` total per rank across `ranks`.
+    pub fn all_to_all_s(&self, bytes: f64, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let n = ranks as f64;
+        let bw = self.group_bw_bytes(ranks);
+        (n - 1.0) / n * bytes / bw + (n - 1.0) * self.latency_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let f = FabricSpec::eos();
+        assert_eq!(f.all_reduce_s(1e9, 1), 0.0);
+        assert_eq!(f.all_gather_s(1e9, 1), 0.0);
+        assert_eq!(f.all_to_all_s(1e9, 1), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_bandwidth_term_dominates_large_messages() {
+        let f = FabricSpec::eos();
+        // 1 GiB over 8 NVLink ranks: ~2*(7/8)*1GiB/450GBps ≈ 4.2 ms.
+        let t = f.all_reduce_s((1u64 << 30) as f64, 8);
+        assert!((0.003..0.006).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn latency_term_dominates_small_messages() {
+        let f = FabricSpec::eos();
+        let t = f.all_reduce_s(1024.0, 8);
+        let latency_floor = 2.0 * 7.0 * 15e-6;
+        assert!(t >= latency_floor);
+        assert!(t < latency_floor * 1.1);
+    }
+
+    #[test]
+    fn cross_node_groups_use_ib() {
+        let f = FabricSpec::eos();
+        let intra = f.all_gather_s(1e8, 8);
+        let inter = f.all_gather_s(1e8, 16);
+        // 16 ranks leave the node: slower despite similar (n-1) factor.
+        assert!(inter > 5.0 * intra);
+    }
+
+    #[test]
+    fn all_reduce_scales_weakly_with_ranks() {
+        // The (n-1)/n factor saturates: 64 vs 256 ranks differ little in
+        // the bandwidth term.
+        let f = FabricSpec::eos();
+        let t64 = f.all_reduce_s(1e9, 64);
+        let t256 = f.all_reduce_s(1e9, 256);
+        assert!(t256 > t64); // latency grows
+        let bw_term = |n: f64| 2.0 * (n - 1.0) / n;
+        assert!((bw_term(256.0) / bw_term(64.0)) < 1.02);
+    }
+}

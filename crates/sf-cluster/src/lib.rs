@@ -1,0 +1,37 @@
+//! Cluster-scale training simulator.
+//!
+//! Models the distributed side of ScaleFold on an Eos-like machine: a
+//! DP × DAP process grid over NVLink nodes and an InfiniBand fabric,
+//! NCCL-style ring collectives, straggler injection (slow data batches,
+//! background CPU peaks, GC pauses), and asynchronous evaluation.
+//!
+//! - [`fabric`]: link specs and analytic collective costs (all-reduce,
+//!   all-gather, all-to-all) with latency + bandwidth terms.
+//! - [`straggler`]: per-rank, per-step random delays: the data pipeline
+//!   (blocking vs non-blocking, driven by the `sf-data` prep-time model)
+//!   and host CPU interference.
+//! - [`sim`]: the per-step simulation: compute (from `sf-opgraph`), DAP
+//!   collectives inside each node, the gradient all-reduce across data
+//!   parallel ranks, and the synchronization semantics that turn one slow
+//!   rank into everyone's problem.
+//! - [`ablation`]: the Figure-3 decomposition — subtract ideal times to
+//!   attribute the DAP scalability gap to CPU overhead, serial modules,
+//!   imbalanced communication, kernel scalability, and communication
+//!   overhead.
+//! - [`eval`]: time-to-train accounting with synchronous or asynchronous
+//!   (offloaded) evaluation and the CPU-DRAM evaluation-data cache.
+//! - [`collective`]: *functional* ring collectives (the algorithms the
+//!   cost model prices), used by the real data-parallel trainer.
+
+pub mod ablation;
+pub mod collective;
+pub mod eval;
+pub mod fabric;
+pub mod sim;
+pub mod straggler;
+
+pub use ablation::ScalabilityBreakdown;
+pub use eval::{EvalConfig, TrainTimeline};
+pub use fabric::FabricSpec;
+pub use sim::{ClusterConfig, ClusterSim, StepBreakdown};
+pub use straggler::StragglerModel;

@@ -1,0 +1,129 @@
+//! Property tests for the cluster substrate: collective correctness for
+//! arbitrary rank counts and payloads, fabric cost-model laws, and
+//! data-pipeline queue invariants.
+
+use proptest::prelude::*;
+use sf_cluster::collective::{all_gather, all_to_all, ring_all_reduce};
+use sf_cluster::straggler::DataPipeState;
+use sf_cluster::{FabricSpec, StragglerModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ring all-reduce equals the elementwise mean for any rank count and
+    /// buffer length.
+    #[test]
+    fn ring_all_reduce_is_mean(
+        n in 1usize..10,
+        len in 0usize..64,
+        seed in any::<u32>(),
+    ) {
+        let mut buffers: Vec<Vec<f32>> = (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((seed as usize + r * 37 + i * 11) % 1000) as f32 * 0.01 - 5.0)
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<f32> = (0..len)
+            .map(|i| buffers.iter().map(|b| b[i]).sum::<f32>() / n as f32)
+            .collect();
+        ring_all_reduce(&mut buffers);
+        for b in &buffers {
+            for (got, want) in b.iter().zip(expect.iter()) {
+                prop_assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+            }
+        }
+    }
+
+    /// All-to-all is an involution (applying twice restores inputs).
+    #[test]
+    fn all_to_all_involution(n in 1usize..8, chunk in 1usize..8, seed in any::<u32>()) {
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..n * chunk).map(|i| (seed as usize + r * 13 + i) as f32).collect())
+            .collect();
+        let once = all_to_all(&inputs);
+        let twice = all_to_all(&once);
+        prop_assert_eq!(twice, inputs);
+    }
+
+    /// All-gather outputs are identical across ranks and contain every
+    /// shard in order.
+    #[test]
+    fn all_gather_uniform_outputs(n in 1usize..8, len in 0usize..16, seed in any::<u32>()) {
+        let shards: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..len).map(|i| (seed as usize + r * 7 + i) as f32).collect())
+            .collect();
+        let out = all_gather(&shards);
+        prop_assert_eq!(out.len(), n);
+        for o in &out {
+            prop_assert_eq!(o.len(), n * len);
+            for (r, shard) in shards.iter().enumerate() {
+                prop_assert_eq!(&o[r * len..(r + 1) * len], shard.as_slice());
+            }
+        }
+    }
+
+    /// Collective costs are monotone in message size and satisfy
+    /// all_reduce ≈ reduce_scatter + all_gather ≥ all_gather.
+    #[test]
+    fn fabric_cost_laws(
+        bytes in 1.0f64..1e10,
+        extra in 1.0f64..1e9,
+        ranks in 2usize..64,
+    ) {
+        let f = FabricSpec::eos();
+        prop_assert!(f.all_reduce_s(bytes, ranks) < f.all_reduce_s(bytes + extra, ranks));
+        // An all-reduce of a full buffer is two ring phases, i.e. twice an
+        // all-gather whose per-rank shard is bytes/n.
+        let ar = f.all_reduce_s(bytes, ranks);
+        let two_ag = 2.0 * f.all_gather_s(bytes / ranks as f64, ranks);
+        prop_assert!((ar - two_ag).abs() < 1e-9 + 0.01 * ar, "ar {ar} vs 2*ag {two_ag}");
+        prop_assert!(f.all_to_all_s(bytes, ranks) > 0.0);
+    }
+
+    /// The data-pipeline queue never reports negative waits and drains:
+    /// with prep always below capacity, waits are identically zero.
+    #[test]
+    fn pipe_waits_are_sane(
+        preps in proptest::collection::vec(0.0f64..100.0, 1..50),
+        step in 0.5f64..5.0,
+    ) {
+        let model = StragglerModel::baseline();
+        let mut pipe = DataPipeState::new();
+        for &p in &preps {
+            let w = pipe.step(&model, p, step);
+            prop_assert!(w >= 0.0);
+            prop_assert!(pipe.backlog_s() >= 0.0);
+        }
+        // Cheap stream: zero waits.
+        let mut quiet = DataPipeState::new();
+        let capacity = step * model.data_workers as f64;
+        for _ in 0..20 {
+            let w = quiet.step(&model, capacity * 0.5, step);
+            prop_assert_eq!(w, 0.0);
+        }
+    }
+
+    /// Non-blocking waits never exceed blocking waits for the same stream.
+    #[test]
+    fn nonblocking_dominates_blocking(
+        preps in proptest::collection::vec(0.0f64..60.0, 1..40),
+        step in 0.5f64..4.0,
+    ) {
+        let blocking = StragglerModel::baseline();
+        let nonblocking = StragglerModel {
+            non_blocking_pipeline: true,
+            ..blocking
+        };
+        let mut pb = DataPipeState::new();
+        let mut pn = DataPipeState::new();
+        let mut total_b = 0.0;
+        let mut total_n = 0.0;
+        for &p in &preps {
+            total_b += pb.step(&blocking, p, step);
+            total_n += pn.step(&nonblocking, p, step);
+        }
+        prop_assert!(total_n <= total_b + 1e-9, "nb {total_n} vs b {total_b}");
+    }
+}

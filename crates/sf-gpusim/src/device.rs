@@ -1,0 +1,107 @@
+//! GPU device specifications (public spec-sheet numbers).
+
+use serde::{Deserialize, Serialize};
+
+/// Peak capabilities of one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name ("A100", "H100").
+    pub name: String,
+    /// Peak dense FP32 tensor-core-free throughput, TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Peak dense TF32 tensor-core throughput, TFLOP/s.
+    pub tf32_tflops: f64,
+    /// Peak dense BF16 tensor-core throughput, TFLOP/s.
+    pub bf16_tflops: f64,
+    /// HBM bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Streaming multiprocessor count.
+    pub sm_count: usize,
+    /// HBM capacity, GiB.
+    pub mem_capacity_gib: f64,
+    /// CPU-side cost per eager operator launch, microseconds. This is the
+    /// full framework dispatch path (Python -> dispatcher -> cudaLaunch),
+    /// not just the driver call — the cost CUDA Graphs eliminate.
+    pub kernel_launch_us: f64,
+    /// Fixed GPU-side kernel tail/setup latency, microseconds.
+    pub kernel_tail_us: f64,
+    /// CPU-side cost of replaying a captured CUDA graph (one
+    /// `cudaGraphLaunch` driver call), microseconds.
+    pub graph_launch_us: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100-SXM4-80GB.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100".to_string(),
+            fp32_tflops: 19.5,
+            tf32_tflops: 156.0,
+            bf16_tflops: 312.0,
+            mem_bw_gbs: 2039.0,
+            sm_count: 108,
+            mem_capacity_gib: 80.0,
+            kernel_launch_us: 25.0,
+            kernel_tail_us: 2.0,
+            graph_launch_us: 10.0,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "H100".to_string(),
+            fp32_tflops: 67.0,
+            tf32_tflops: 495.0,
+            bf16_tflops: 989.0,
+            mem_bw_gbs: 3350.0,
+            sm_count: 132,
+            mem_capacity_gib: 80.0,
+            kernel_launch_us: 25.0,
+            kernel_tail_us: 1.5,
+            graph_launch_us: 10.0,
+        }
+    }
+
+    /// Peak math throughput in FLOP/s for the given tensor-core precision
+    /// selector (`"fp32"`, `"tf32"`, `"bf16"`).
+    pub fn peak_flops(&self, precision: &str) -> f64 {
+        let tflops = match precision {
+            "bf16" => self.bf16_tflops,
+            "tf32" => self.tf32_tflops,
+            _ => self.fp32_tflops,
+        };
+        tflops * 1e12
+    }
+
+    /// Memory bandwidth in bytes/s.
+    pub fn mem_bw_bytes(&self) -> f64 {
+        self.mem_bw_gbs * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_outclasses_a100() {
+        let a = DeviceSpec::a100();
+        let h = DeviceSpec::h100();
+        assert!(h.bf16_tflops > 2.5 * a.bf16_tflops);
+        assert!(h.mem_bw_gbs > a.mem_bw_gbs);
+        // Memory bandwidth grows less than math: memory-bound workloads
+        // (like OpenFold) gain less from H100 — the paper's 1.66× ref
+        // speedup, far below the 3× math ratio.
+        assert!(h.mem_bw_gbs / a.mem_bw_gbs < 2.0);
+    }
+
+    #[test]
+    fn precision_selector() {
+        let h = DeviceSpec::h100();
+        assert_eq!(h.peak_flops("bf16"), 989.0e12);
+        assert_eq!(h.peak_flops("tf32"), 495.0e12);
+        assert_eq!(h.peak_flops("fp32"), 67.0e12);
+        assert_eq!(h.peak_flops("unknown"), 67.0e12);
+    }
+}

@@ -1,0 +1,36 @@
+//! A calibrated GPU performance model.
+//!
+//! This crate is the "hardware" of the reproduction: since the paper's
+//! experiments ran on A100/H100 clusters we do not have, every performance
+//! claim is re-derived on a mechanistic model instead of measured on real
+//! silicon. The model is deliberately simple and fully documented:
+//!
+//! - [`DeviceSpec`]: peak math throughput, memory bandwidth, SM count, and
+//!   kernel-launch overhead for NVIDIA A100 and H100 (public spec-sheet
+//!   numbers).
+//! - [`Kernel`]: a unit of GPU work characterized by FLOPs, bytes moved,
+//!   achieved-efficiency factor, and launch parallelism. Duration follows
+//!   the **roofline**: `max(flops / (peak·eff), bytes / (bw·eff·occ))`,
+//!   where occupancy `occ` degrades when the launch has too few blocks to
+//!   fill the SMs — the paper's "poor kernel scalability" under DAP.
+//! - [`Stream`]: a CUDA-stream timeline with a CPU launch cursor and a GPU
+//!   execution cursor; when the CPU cannot launch fast enough (150k tiny
+//!   kernels, background CPU peaks, Python GC), the GPU starves — the
+//!   paper's "CPU overhead".
+//! - [`CudaGraph`] / [`GraphCache`]: capture-once/replay-many execution that
+//!   removes per-kernel launch cost, with a cache keyed by shape signature
+//!   for AlphaFold's recycling-dependent graphs.
+//! - [`autotune`](mod@autotune): a Triton-style tile-configuration
+//!   search over the model.
+
+pub mod autotune;
+pub mod device;
+pub mod graph;
+pub mod kernel;
+pub mod stream;
+
+pub use autotune::{autotune, KernelTemplate, TileConfig};
+pub use device::DeviceSpec;
+pub use graph::{CudaGraph, GraphCache};
+pub use kernel::{Kernel, KernelClass};
+pub use stream::{CpuModel, Stream, StreamStats};

@@ -1,0 +1,48 @@
+//! The AlphaFold model topology, built on the [`sf_autograd`] tape.
+//!
+//! This crate implements the architecture described in Jumper et al. (2021)
+//! and reproduced by OpenFold — the training workload that ScaleFold
+//! optimizes. All four top-level parts from the paper's Figure 1 are here:
+//!
+//! - **Input embeddings** ([`embed`]): MSA/target featurization into the
+//!   initial MSA (`m`) and pair (`z`) representations, with relative
+//!   positional encoding, plus the template pair stack and extra-MSA stack.
+//! - **Evoformer stack** ([`evoformer`]): the nine-module block of the
+//!   paper's Figure 2 — MSA row attention *with pair bias*, MSA column
+//!   attention, MSA transition, outer product mean, triangle multiplicative
+//!   updates (outgoing/incoming), triangle attention (starting/ending node),
+//!   and pair transition.
+//! - **Structure module** ([`structure`]): iterative coordinate refinement
+//!   from the single representation (an IPA-style attention with
+//!   distance-derived bias; see module docs for the documented
+//!   simplification versus full rigid-frame IPA).
+//! - **Recycling** ([`model`]): the outer loop feeding previous-iteration
+//!   embeddings and predicted geometry back into the next iteration.
+//!
+//! Losses ([`loss`]) use rigid-invariant distance-map objectives plus the
+//! masked-MSA auxiliary task; quality is measured with a real
+//! [lDDT-Cα](metrics::lddt_ca) implementation. Rigid-body geometry
+//! (quaternions, frames) lives in [`geometry`].
+//!
+//! Scale note: the topology is exact, the widths/depths are configurable.
+//! [`ModelConfig::paper`] reproduces AlphaFold's published dimensions
+//! (48 Evoformer blocks, `c_m = 256`, `c_z = 128`, crop 256 — the sizes the
+//! performance model in `sf-opgraph` costs out), while [`ModelConfig::tiny`]
+//! is small enough to *actually train* on a CPU in tests and examples.
+
+pub mod config;
+pub mod embed;
+pub mod evoformer;
+pub mod features;
+pub mod frames;
+pub mod geometry;
+pub mod inference;
+pub mod linear;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod structure;
+
+pub use config::ModelConfig;
+pub use features::FeatureBatch;
+pub use model::{AlphaFold, ModelOutput};

@@ -1,0 +1,536 @@
+//! ScaleFold's fusion passes over the step graph.
+//!
+//! Each pass is a pure graph-to-graph transformation; each returns the
+//! number of kernels it removed so experiments can report fusion coverage.
+
+use crate::builder::{eff, StepGraph};
+use crate::ops::{OpKind, OpNode};
+use sf_gpusim::Kernel;
+use std::collections::HashSet;
+
+/// Merges every naive LayerNorm group (4 forward sub-kernels, or the
+/// backward kernel) into a single fused Triton-style kernel: one pass over
+/// the data (Welford statistics) at [`eff::LN_FUSED`] efficiency.
+pub fn fuse_layer_norm(g: &StepGraph) -> (StepGraph, usize) {
+    let mut out = g.clone();
+    let mut ops = Vec::with_capacity(g.ops.len());
+    let mut seen: HashSet<(u64, bool)> = HashSet::new();
+    let mut removed = 0usize;
+    for op in &g.ops {
+        if op.kind != OpKind::LayerNorm {
+            ops.push(op.clone());
+            continue;
+        }
+        let bwd = op.kernel.name.ends_with("_bwd");
+        if !seen.insert((op.fuse_group, bwd)) {
+            removed += 1;
+            continue;
+        }
+        // One fused kernel per (group, direction): single read+write pass.
+        let mut k = op.kernel.clone();
+        k.name = if bwd { "ln_fused_bwd".into() } else { "ln_fused".into() };
+        k.efficiency = eff::LN_FUSED;
+        ops.push(OpNode::new(k, op.module, OpKind::Fused, op.fuse_group));
+    }
+    out.ops = ops;
+    (out, removed)
+}
+
+/// Merges every attention core (QK^T, bias add, 3 softmax sub-kernels, PV,
+/// gating) into one FlashAttention-style kernel with pair bias: the logits
+/// matrix is never materialized, so its HBM traffic disappears.
+pub fn fuse_mha(g: &StepGraph) -> (StepGraph, usize) {
+    let mut out = g.clone();
+    let mut ops: Vec<OpNode> = Vec::with_capacity(g.ops.len());
+    let mut removed = 0usize;
+    let mut idx = 0usize;
+    while idx < g.ops.len() {
+        let op = &g.ops[idx];
+        let in_att_core = matches!(
+            op.kind,
+            OpKind::AttentionGemm | OpKind::Softmax | OpKind::AttentionElementwise
+        );
+        if !in_att_core {
+            ops.push(op.clone());
+            idx += 1;
+            continue;
+        }
+        // Collect the contiguous run of this attention group/direction.
+        let group = op.fuse_group;
+        let bwd = op.kernel.name.contains("grad") || op.kernel.name.ends_with("_bwd");
+        let mut flops = 0.0f64;
+        let mut qkv_bytes = 0.0f64;
+        let mut logits_bytes = 0.0f64;
+        let mut parallelism = 1usize;
+        let mut members = 0usize;
+        while idx < g.ops.len() {
+            let m = &g.ops[idx];
+            let m_bwd = m.kernel.name.contains("grad") || m.kernel.name.ends_with("_bwd");
+            let core = matches!(
+                m.kind,
+                OpKind::AttentionGemm | OpKind::Softmax | OpKind::AttentionElementwise
+            );
+            if !core || m.fuse_group != group || m_bwd != bwd {
+                break;
+            }
+            flops += m.kernel.flops;
+            parallelism = parallelism.max(m.kernel.parallelism);
+            if m.kind == OpKind::Softmax {
+                // Each softmax sub-kernel reads+writes the logits once.
+                logits_bytes = logits_bytes.max(m.kernel.bytes / 2.0);
+            } else {
+                qkv_bytes += m.kernel.bytes;
+            }
+            members += 1;
+            idx += 1;
+        }
+        removed += members - 1;
+        // Flash kernel: all the math in one launch. At AlphaFold's head
+        // width (d=32) the tiling still spills partial blocks, so the
+        // traffic reduction versus the already-tuned eager baseline is
+        // partial — calibrated to the paper's measured 1.12x step gain.
+        let total_bytes = qkv_bytes + 6.0 * logits_bytes;
+        let bytes = (0.7 * total_bytes).max(qkv_bytes * 0.25);
+        let mut k = Kernel::math(
+            if bwd { "mha_fused_bwd" } else { "mha_fused" },
+            flops,
+            bytes,
+            parallelism,
+        );
+        k.efficiency = eff::MHA_FUSED;
+        ops.push(OpNode::new(
+            k,
+            op.module,
+            OpKind::Fused,
+            group,
+        ));
+    }
+    out.ops = ops;
+    (out, removed)
+}
+
+/// Bundles each group of independent pre-attention projection GEMMs into a
+/// single batched GEMM (the paper's "GEMM Batching", 1.03×): the shared
+/// input is read once and the launch exposes 4× the parallelism.
+pub fn batch_gemms(g: &StepGraph) -> (StepGraph, usize) {
+    use std::collections::HashMap;
+    // Bundle by (fuse group, gradient class) across the whole graph — the
+    // backward pass interleaves dgrad/wgrad kernels, so members of one
+    // bundle are not contiguous.
+    #[derive(Default)]
+    struct Bundle {
+        flops: f64,
+        bytes: f64,
+        input_bytes: f64,
+        parallelism: usize,
+        members: usize,
+    }
+    let mut bundles: HashMap<(u64, u8), Bundle> = HashMap::new();
+    for op in &g.ops {
+        if op.kind != OpKind::ProjectionGemm || op.fuse_group == 0 {
+            continue;
+        }
+        let key = (op.fuse_group, grad_class(&op.kernel.name));
+        let b = bundles.entry(key).or_insert_with(|| Bundle {
+            input_bytes: f64::INFINITY,
+            ..Bundle::default()
+        });
+        b.flops += op.kernel.flops;
+        b.bytes += op.kernel.bytes;
+        // The shared activation input appears in every member: roughly a
+        // third of each member's traffic.
+        b.input_bytes = b.input_bytes.min(op.kernel.bytes / 3.0);
+        b.parallelism += op.kernel.parallelism;
+        b.members += 1;
+    }
+    let mut out = g.clone();
+    let mut ops: Vec<OpNode> = Vec::with_capacity(g.ops.len());
+    let mut removed = 0usize;
+    let mut emitted: std::collections::HashSet<(u64, u8)> = std::collections::HashSet::new();
+    for op in &g.ops {
+        if op.kind != OpKind::ProjectionGemm || op.fuse_group == 0 {
+            ops.push(op.clone());
+            continue;
+        }
+        let key = (op.fuse_group, grad_class(&op.kernel.name));
+        if !emitted.insert(key) {
+            removed += 1;
+            continue;
+        }
+        let b = &bundles[&key];
+        let shared_savings = b.input_bytes * (b.members.saturating_sub(1)) as f64;
+        let mut k = Kernel::math(
+            "gemm_bundled",
+            b.flops,
+            (b.bytes - shared_savings).max(0.0),
+            b.parallelism,
+        );
+        k.efficiency = eff::GEMM;
+        k.precision = op.kernel.precision.clone();
+        ops.push(OpNode::new(k, op.module, OpKind::Fused, op.fuse_group));
+    }
+    out.ops = ops;
+    (out, removed)
+}
+
+fn grad_class(name: &str) -> u8 {
+    if name.ends_with("_dgrad") {
+        1
+    } else if name.ends_with("_wgrad") {
+        2
+    } else {
+        0
+    }
+}
+
+/// Replaces the per-tensor Adam + SWA kernel storm (6 kernels × >4000
+/// tensors) with a single fused kernel over a packed parameter buffer
+/// (§3.3.1): one pass, intermediates in registers.
+pub fn fuse_adam_swa(g: &StepGraph) -> (StepGraph, usize) {
+    let mut out = g.clone();
+    let mut ops = Vec::with_capacity(g.ops.len());
+    let mut removed = 0usize;
+    let mut total_bytes = 0.0f64;
+    for op in &g.ops {
+        if matches!(op.kind, OpKind::AdamUpdate | OpKind::SwaUpdate) {
+            total_bytes += op.kernel.bytes;
+            removed += 1;
+        } else {
+            ops.push(op.clone());
+        }
+    }
+    if removed > 0 {
+        removed -= 1;
+        // Fused single pass: read p/g/m/v/avg once, write p/m/v/avg once
+        // ≈ 9 element-passes versus the eager ~18 (6 kernels × 3 tensors).
+        let bytes = total_bytes * 0.5;
+        let k = Kernel::memory("fused_adam_swa", bytes, 4096)
+            .with_efficiency(eff::OPTIMIZER_FUSED);
+        ops.push(OpNode::new(
+            k,
+            crate::ops::ModuleTag::Optimizer,
+            OpKind::Fused,
+            0,
+        ));
+    }
+    out.ops = ops;
+    (out, removed)
+}
+
+/// Replaces per-tensor gradient-clipping kernels with per-bucket kernels
+/// over the DDP gradient buffers ("from thousands to tens"). When
+/// `hidden_under_comm` is set, the kernels are dropped entirely — the
+/// cluster simulator overlaps their latency with the all-reduce.
+pub fn bucket_grad_clip(g: &StepGraph, hidden_under_comm: bool) -> (StepGraph, usize) {
+    const BUCKET_BYTES: f64 = 25.0 * 1024.0 * 1024.0; // PyTorch DDP default
+    let mut out = g.clone();
+    let mut ops = Vec::with_capacity(g.ops.len());
+    let mut removed = 0usize;
+    let mut total_bytes = 0.0f64;
+    for op in &g.ops {
+        // Bucket reuse removes both the per-tensor norm/scale kernels and
+        // the concat copies (the DDP buffers already hold the gradients).
+        if op.kind == OpKind::GradClip || op.kernel.name == "copy_clip_concat" {
+            total_bytes += op.kernel.bytes;
+            removed += 1;
+        } else {
+            ops.push(op.clone());
+        }
+    }
+    if removed > 0 && !hidden_under_comm {
+        let grad_bytes = g.param_elements * 4.0;
+        let buckets = (grad_bytes / BUCKET_BYTES).ceil().max(1.0) as usize;
+        removed -= 2 * buckets;
+        for _ in 0..buckets {
+            for name in ["bucket_clip_norm", "bucket_clip_scale"] {
+                let k = Kernel::memory(name, total_bytes / (2.0 * buckets as f64), 2048)
+                    .with_efficiency(eff::OPTIMIZER_FUSED);
+                ops.push(OpNode::new(
+                    k,
+                    crate::ops::ModuleTag::Optimizer,
+                    OpKind::Fused,
+                    0,
+                ));
+            }
+        }
+    }
+    out.ops = ops;
+    (out, removed)
+}
+
+/// torch.compile-style automatic fusion: every run of ≥2 consecutive
+/// elementwise kernels sharing a fuse group collapses into one kernel that
+/// reads the input once and writes the output once.
+pub fn auto_fuse_elementwise(g: &StepGraph) -> (StepGraph, usize) {
+    let mut out = g.clone();
+    let mut ops: Vec<OpNode> = Vec::with_capacity(g.ops.len());
+    let mut removed = 0usize;
+    let mut idx = 0usize;
+    while idx < g.ops.len() {
+        let op = &g.ops[idx];
+        // torch.compile absorbs the framework glue copies entirely.
+        if op.kernel.name == "cast_glue" {
+            removed += 1;
+            idx += 1;
+            continue;
+        }
+        if op.kind != OpKind::Elementwise {
+            ops.push(op.clone());
+            idx += 1;
+            continue;
+        }
+        let group = op.fuse_group;
+        let mut members = 0usize;
+        let mut max_bytes = 0.0f64;
+        let mut parallelism = 1usize;
+        while idx < g.ops.len() {
+            let m = &g.ops[idx];
+            if m.kind != OpKind::Elementwise || m.fuse_group != group {
+                break;
+            }
+            members += 1;
+            max_bytes = max_bytes.max(m.kernel.bytes);
+            parallelism = parallelism.max(m.kernel.parallelism);
+            idx += 1;
+        }
+        if members == 1 {
+            ops.push(op.clone());
+            continue;
+        }
+        removed += members - 1;
+        let k = Kernel::memory("compiled_elementwise", max_bytes, parallelism)
+            .with_efficiency(eff::ELEMENTWISE_FUSED);
+        ops.push(OpNode::new(k, op.module, OpKind::Fused, group));
+    }
+    out.ops = ops;
+    (out, removed)
+}
+
+/// Triton-style autotuning of the fused memory-bound kernels (§3.3.2):
+/// for each distinct problem size of a fused LayerNorm kernel, run the
+/// tile-configuration search from `sf_gpusim::autotune` against the target
+/// device and adopt the tuned kernel when it beats the current one.
+///
+/// The paper: autotuning searched "optimal hyper-parameters for all
+/// workload sizes that appear and target GPU architectures ...
+/// particularly useful when workload sizes were scaled down by DAP" — so
+/// apply this pass *after* `crate::dap::shard`. Returns the number of
+/// kernels improved.
+pub fn autotune_fused(g: &StepGraph, device: &sf_gpusim::DeviceSpec) -> (StepGraph, usize) {
+    use std::collections::HashMap;
+    let mut out = g.clone();
+    let mut improved = 0usize;
+    // Memoize the search per distinct (rows, cols) problem.
+    let mut cache: HashMap<(usize, usize), sf_gpusim::Kernel> = HashMap::new();
+    for op in &mut out.ops {
+        if op.kind != OpKind::Fused || !op.kernel.name.starts_with("ln_fused") {
+            continue;
+        }
+        // Reconstruct the LN problem from the kernel: parallelism is the
+        // row count, bytes = 2 passes x rows x cols x bytes/elem.
+        let rows = op.kernel.parallelism.max(1);
+        let bytes_per_elem = 4.0; // conservative: tune against fp32 traffic
+        let cols =
+            ((op.kernel.bytes / (2.0 * rows as f64 * bytes_per_elem)).round() as usize).max(1);
+        let tuned = cache.entry((rows, cols)).or_insert_with(|| {
+            let template =
+                sf_gpusim::KernelTemplate::layer_norm(rows, cols, 2.0 * bytes_per_elem);
+            let (best, _) = sf_gpusim::autotune(&template, device);
+            template.instantiate(best, device)
+        });
+        let mut candidate = tuned.clone();
+        // Preserve the original traffic accounting (bf16 may have shrunk
+        // it); adopt only the tuned execution characteristics.
+        candidate.bytes = op.kernel.bytes * (tuned.bytes / template_bytes(rows, cols));
+        candidate.name = format!("{}_tuned", op.kernel.name);
+        if candidate.duration_s(device) < op.kernel.duration_s(device) {
+            op.kernel = candidate;
+            improved += 1;
+        }
+    }
+    (out, improved)
+}
+
+fn template_bytes(rows: usize, cols: usize) -> f64 {
+    rows as f64 * cols as f64 * 8.0
+}
+
+/// Bytes multiplier applied by [`to_bf16`]: pure storage halving would be
+/// 0.5, but LayerNorm/softmax statistics stay fp32 and boundary casts add
+/// traffic — calibrated so the end-to-end gain matches the paper's 1.24×.
+pub const BF16_BYTES_FACTOR: f64 = 0.78;
+
+/// Converts the whole graph to bfloat16: activation/parameter traffic
+/// shrinks by [`BF16_BYTES_FACTOR`] (not a full 2× — fp32 statistic islands
+/// and cast overhead remain) and math-bound kernels run on the bf16
+/// tensor-core path (the paper's 1.24× for this memory-bound workload).
+pub fn to_bf16(g: &StepGraph) -> StepGraph {
+    let mut out = g.clone();
+    for op in &mut out.ops {
+        op.kernel.bytes *= BF16_BYTES_FACTOR;
+        if op.kernel.flops > 0.0 {
+            op.kernel.precision = "bf16".to_string();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_gpusim::{CpuModel, DeviceSpec, Stream};
+    use sf_model::ModelConfig;
+
+    fn reference() -> StepGraph {
+        StepGraph::reference(&ModelConfig::paper(), 1)
+    }
+
+    fn busy(g: &StepGraph, dev: &DeviceSpec) -> f64 {
+        let kernels: Vec<_> = g.ops.iter().map(|o| o.kernel.clone()).collect();
+        Stream::new(dev.clone(), CpuModel::healthy()).run_eager(&kernels).gpu_busy_s
+    }
+
+    #[test]
+    fn ln_fusion_shrinks_count_and_time() {
+        let g = reference();
+        let (f, removed) = fuse_layer_norm(&g);
+        assert!(removed > 1000, "removed {removed}");
+        assert!(f.ops.len() + removed == g.ops.len());
+        let dev = DeviceSpec::a100();
+        assert!(busy(&f, &dev) < busy(&g, &dev));
+    }
+
+    #[test]
+    fn mha_fusion_preserves_flops_and_cuts_bytes() {
+        let g = reference();
+        let (f, removed) = fuse_mha(&g);
+        assert!(removed > 500);
+        let flops = |g: &StepGraph| g.ops.iter().map(|o| o.kernel.flops).sum::<f64>();
+        let bytes = |g: &StepGraph| g.ops.iter().map(|o| o.kernel.bytes).sum::<f64>();
+        assert!((flops(&f) - flops(&g)).abs() < 1e-3 * flops(&g));
+        assert!(bytes(&f) < bytes(&g));
+    }
+
+    #[test]
+    fn gemm_batching_bundles_projection_launches() {
+        let g = reference();
+        let before = g
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::ProjectionGemm)
+            .count();
+        assert!(before > 1000);
+        let (f, removed) = batch_gemms(&g);
+        // No standalone projection GEMMs remain; each bundle of (mostly 4)
+        // collapses to one kernel, so roughly 3/4 of them disappear.
+        let after = f.ops.iter().filter(|o| o.kind == OpKind::ProjectionGemm).count();
+        assert_eq!(after, 0);
+        assert!(
+            removed >= before / 2,
+            "removed {removed} of {before} projection GEMMs"
+        );
+        // FLOPs conserved.
+        let flops = |g: &StepGraph| g.ops.iter().map(|o| o.kernel.flops).sum::<f64>();
+        assert!((flops(&f) - flops(&g)).abs() < 1e-3 * flops(&g));
+    }
+
+    #[test]
+    fn adam_swa_fusion_collapses_to_one_kernel() {
+        let g = reference();
+        let (f, removed) = fuse_adam_swa(&g);
+        assert!(removed > 10_000);
+        let fused = f
+            .ops
+            .iter()
+            .filter(|o| o.kernel.name == "fused_adam_swa")
+            .count();
+        assert_eq!(fused, 1);
+        let dev = DeviceSpec::h100();
+        assert!(busy(&f, &dev) < busy(&g, &dev));
+    }
+
+    #[test]
+    fn grad_clip_bucketing_thousands_to_tens() {
+        let g = reference();
+        let before = g.ops.iter().filter(|o| o.kind == OpKind::GradClip).count();
+        assert!(before > 8000);
+        let (f, _) = bucket_grad_clip(&g, false);
+        let after = f
+            .ops
+            .iter()
+            .filter(|o| o.kernel.name.starts_with("bucket_clip"))
+            .count();
+        assert!((2..=80).contains(&after), "bucket kernels {after}");
+        let (hidden, _) = bucket_grad_clip(&g, true);
+        assert_eq!(
+            hidden
+                .ops
+                .iter()
+                .filter(|o| o.kernel.name.contains("clip"))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn auto_fusion_merges_elementwise_runs() {
+        let g = reference();
+        let (f, removed) = auto_fuse_elementwise(&g);
+        assert!(removed > 3000, "removed {removed}");
+        let dev = DeviceSpec::h100();
+        assert!(busy(&f, &dev) < busy(&g, &dev));
+    }
+
+    #[test]
+    fn bf16_shrinks_traffic_by_calibrated_factor() {
+        let g = reference();
+        let f = to_bf16(&g);
+        let bytes = |g: &StepGraph| g.ops.iter().map(|o| o.kernel.bytes).sum::<f64>();
+        assert!(
+            (bytes(&f) - bytes(&g) * super::BF16_BYTES_FACTOR).abs() < 1e-6 * bytes(&g)
+        );
+        assert_eq!(f.ops.len(), g.ops.len());
+    }
+
+    #[test]
+    fn autotune_improves_dap_shrunk_ln_kernels() {
+        let g = reference();
+        let (lnfused, _) = fuse_layer_norm(&g);
+        let sharded = crate::dap::shard(&lnfused, 8);
+        let dev = DeviceSpec::h100();
+        let (tuned, improved) = autotune_fused(&sharded, &dev);
+        assert!(improved > 0, "no kernels improved");
+        assert!(busy(&tuned, &dev) < busy(&sharded, &dev));
+        // At full size the fused kernels are already near-optimal: fewer
+        // (or equal) improvements than under DAP-8.
+        let (_, improved_full) = autotune_fused(&lnfused, &dev);
+        assert!(improved_full <= improved, "full {improved_full} vs dap {improved}");
+    }
+
+    #[test]
+    fn autotune_never_regresses() {
+        let g = reference();
+        let (lnfused, _) = fuse_layer_norm(&g);
+        let dev = DeviceSpec::a100();
+        for dap in [1usize, 4] {
+            let sharded = crate::dap::shard(&lnfused, dap);
+            let (tuned, _) = autotune_fused(&sharded, &dev);
+            assert!(busy(&tuned, &dev) <= busy(&sharded, &dev) * 1.0001);
+        }
+    }
+
+    #[test]
+    fn passes_compose() {
+        let g = reference();
+        let (g1, _) = fuse_layer_norm(&g);
+        let (g2, _) = fuse_mha(&g1);
+        let (g3, _) = batch_gemms(&g2);
+        let (g4, _) = fuse_adam_swa(&g3);
+        let (g5, _) = bucket_grad_clip(&g4, true);
+        let (g6, _) = auto_fuse_elementwise(&g5);
+        let g7 = to_bf16(&g6);
+        assert!(g7.ops.len() < g.ops.len() / 3);
+        let dev = DeviceSpec::h100();
+        assert!(busy(&g7, &dev) < 0.6 * busy(&g, &dev));
+    }
+}

@@ -1,0 +1,37 @@
+//! Operator graph of one AlphaFold training step.
+//!
+//! This crate generates the full kernel sequence of a training step from a
+//! [`sf_model::ModelConfig`] (forward, backward, and optimizer phases),
+//! classifies the kernels per the paper's Table 1 taxonomy, applies
+//! ScaleFold's fusion passes, and costs the result on an
+//! [`sf_gpusim::DeviceSpec`]:
+//!
+//! - [`builder`]: expands every model module into its kernels (GEMMs,
+//!   layer norms, softmaxes, elementwise glue, transposes/copies), then the
+//!   backward pass (~2× kernels) and the training subroutines (per-tensor
+//!   Adam / SWA / gradient-clip kernels — the >4000-tensor kernel storm).
+//! - [`fusion`]: the optimization passes —
+//!   [`fusion::fuse_layer_norm`], [`fusion::fuse_mha`],
+//!   [`fusion::batch_gemms`], [`fusion::fuse_adam_swa`],
+//!   [`fusion::bucket_grad_clip`], [`fusion::auto_fuse_elementwise`]
+//!   ("torch.compile"), and [`fusion::to_bf16`].
+//! - [`profile`]: Table-1 classification, per-module runtime breakdown
+//!   (Evoformer / MHA / LN / optimizer shares), and step-time estimation
+//!   via the stream model (eager vs CUDA graph).
+//! - [`dap`]: Dynamic Axial Parallelism sharding of the parallelizable
+//!   kernels, leaving the paper's *serial modules* (data pipeline feed,
+//!   structure module) unsharded, plus the DAP communication volume.
+//! - [`memory`]: the per-rank footprint model behind the paper's "High
+//!   Memory Consumption" challenge — it decides when gradient
+//!   checkpointing can be disabled.
+
+pub mod builder;
+pub mod dap;
+pub mod fusion;
+pub mod memory;
+pub mod ops;
+pub mod profile;
+
+pub use builder::StepGraph;
+pub use ops::{ModuleTag, OpKind, OpNode};
+pub use profile::{ModuleProfile, Table1};

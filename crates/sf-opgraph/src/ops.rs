@@ -1,0 +1,104 @@
+//! Operator-graph node types.
+
+use serde::{Deserialize, Serialize};
+use sf_gpusim::Kernel;
+
+/// Which model part an op belongs to (drives the per-module profile and the
+/// DAP sharding decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleTag {
+    /// Input embedders (MSA/target/relpos/recycling).
+    Embedding,
+    /// Template pair stack.
+    Template,
+    /// Extra-MSA stack.
+    ExtraMsa,
+    /// Main Evoformer stack.
+    Evoformer,
+    /// Structure module — serial, not DAP-parallelizable.
+    Structure,
+    /// Loss heads.
+    Heads,
+    /// Optimizer / SWA / gradient clipping.
+    Optimizer,
+}
+
+impl ModuleTag {
+    /// True if DAP can shard this module's kernels (the paper: data
+    /// pipeline and Structure Module are serial; optimizer shards by
+    /// parameter, not by DAP).
+    pub fn dap_shardable(self) -> bool {
+        !matches!(self, ModuleTag::Structure | ModuleTag::Optimizer)
+    }
+}
+
+/// Fine-grained op kind (drives which fusion pass touches the op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Dense matrix multiply.
+    Gemm,
+    /// A GEMM that is one of a bundleable pre-attention projection group.
+    ProjectionGemm,
+    /// Attention core matmul (QK^T or PV).
+    AttentionGemm,
+    /// Softmax sub-kernel (max / exp-sum / normalize).
+    Softmax,
+    /// Attention glue (bias add, gating, masking).
+    AttentionElementwise,
+    /// LayerNorm sub-kernel (mean / var / normalize / affine).
+    LayerNorm,
+    /// Generic fusable elementwise (residual add, activation, scale).
+    Elementwise,
+    /// Reduction that is not LN/softmax (sums, means).
+    Reduction,
+    /// Transpose / reshape / concat realized as a copy.
+    MemOp,
+    /// Per-tensor Adam update sub-kernel.
+    AdamUpdate,
+    /// Per-tensor SWA update sub-kernel.
+    SwaUpdate,
+    /// Per-tensor gradient-clip sub-kernel (norm or scale).
+    GradClip,
+    /// Already-fused kernel produced by an optimization pass.
+    Fused,
+}
+
+/// One node of the step graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// The kernel cost model.
+    pub kernel: Kernel,
+    /// Owning model part.
+    pub module: ModuleTag,
+    /// Fine-grained kind.
+    pub kind: OpKind,
+    /// Group id linking sub-kernels that a fusion pass may merge (e.g. the
+    /// 5 kernels of one LayerNorm share a group, the 4 projection GEMMs
+    /// before one attention share a group).
+    pub fuse_group: u64,
+}
+
+impl OpNode {
+    /// Creates a node.
+    pub fn new(kernel: Kernel, module: ModuleTag, kind: OpKind, fuse_group: u64) -> Self {
+        OpNode {
+            kernel,
+            module,
+            kind,
+            fuse_group,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shardability() {
+        assert!(ModuleTag::Evoformer.dap_shardable());
+        assert!(ModuleTag::ExtraMsa.dap_shardable());
+        assert!(!ModuleTag::Structure.dap_shardable());
+        assert!(!ModuleTag::Optimizer.dap_shardable());
+    }
+}

@@ -1,0 +1,79 @@
+//! The AlphaFold learning-rate schedule: linear warm-up, plateau, then a
+//! step decay (Jumper et al. supplementary Table 4; OpenFold keeps it).
+
+use serde::{Deserialize, Serialize};
+
+/// Warm-up → plateau → decay learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    /// Peak learning rate after warm-up.
+    pub peak_lr: f32,
+    /// Linear warm-up length in steps (AlphaFold: 1000).
+    pub warmup_steps: u64,
+    /// Step at which the decay kicks in (AlphaFold: 50k of ~75k initial
+    /// training steps).
+    pub decay_after: u64,
+    /// Multiplicative decay factor applied after `decay_after`
+    /// (AlphaFold: 0.95).
+    pub decay_factor: f32,
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule {
+            peak_lr: 1e-3,
+            warmup_steps: 1000,
+            decay_after: 50_000,
+            decay_factor: 0.95,
+        }
+    }
+}
+
+impl LrSchedule {
+    /// The learning rate at a (0-based) optimizer step.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            self.peak_lr * (step + 1) as f32 / self.warmup_steps.max(1) as f32
+        } else if step < self.decay_after {
+            self.peak_lr
+        } else {
+            self.peak_lr * self.decay_factor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::default();
+        assert!(s.lr_at(0) < 0.01 * s.peak_lr + 1e-9);
+        assert!((s.lr_at(499) - 0.5 * s.peak_lr).abs() < 0.01 * s.peak_lr);
+        assert_eq!(s.lr_at(1000), s.peak_lr);
+    }
+
+    #[test]
+    fn plateau_holds_peak() {
+        let s = LrSchedule::default();
+        assert_eq!(s.lr_at(10_000), s.peak_lr);
+        assert_eq!(s.lr_at(49_999), s.peak_lr);
+    }
+
+    #[test]
+    fn decay_applies_after_threshold() {
+        let s = LrSchedule::default();
+        assert!((s.lr_at(50_000) - 0.95 * s.peak_lr).abs() < 1e-9);
+        assert!((s.lr_at(70_000) - 0.95 * s.peak_lr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_warmup_is_safe() {
+        let s = LrSchedule {
+            warmup_steps: 0,
+            ..LrSchedule::default()
+        };
+        assert_eq!(s.lr_at(0), s.peak_lr);
+    }
+}

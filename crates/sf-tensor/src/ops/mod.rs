@@ -1,0 +1,12 @@
+//! Numerical kernels: GEMM, softmax, LayerNorm, and fused attention.
+//!
+//! The `layernorm` and `attention` modules each provide both a *naive*
+//! multi-pass implementation (the reference) and a *fused* single-pass
+//! implementation mirroring the paper's custom Triton kernels. Tests assert
+//! the two agree to within f32 tolerance; the GPU-side performance effect of
+//! the fusion is modelled in `sf-gpusim`.
+
+pub mod attention;
+pub mod layernorm;
+pub mod matmul;
+pub mod softmax;

@@ -1,0 +1,227 @@
+//! Softmax over the last axis: the standard three-pass kernel and the
+//! *online* (streaming) single-pass variant used inside the fused
+//! FlashAttention-style kernel.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Numerically-stable softmax over the last axis.
+///
+/// # Errors
+///
+/// Returns an error for rank-0 tensors or a zero-size last axis.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    let rank = x.rank();
+    if rank == 0 {
+        return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+    }
+    let inner = *x.dims().last().expect("rank >= 1");
+    if inner == 0 {
+        return Err(TensorError::EmptyInput("softmax"));
+    }
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(inner) {
+        softmax_row(row);
+    }
+    Ok(out)
+}
+
+/// Softmax with an additive mask: entries where `mask == 0` receive a large
+/// negative bias before the softmax (AlphaFold masks padded MSA rows and
+/// residues this way). `mask` must broadcast to `x`'s shape.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn masked_softmax(x: &Tensor, mask: &Tensor) -> Result<Tensor> {
+    // -3e4 rather than -inf: matches bf16-safe masking in real pipelines and
+    // avoids NaN rows when an entire row is masked.
+    let neg = mask.map(|m| if m == 0.0 { -3.0e4 } else { 0.0 });
+    softmax(&x.add(&neg)?)
+}
+
+/// In-place three-pass softmax on a single row.
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Running state of the *online softmax* recurrence
+/// (Milakov & Gimelshein 2018), the core trick of FlashAttention: a row's
+/// softmax-weighted sum of values can be accumulated tile-by-tile while
+/// tracking only `(max, normalizer)`.
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    /// Running row maximum.
+    pub max: f32,
+    /// Running normalizer `sum(exp(x_i - max))`.
+    pub denom: f32,
+}
+
+impl Default for OnlineSoftmax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineSoftmax {
+    /// Fresh state (empty prefix).
+    pub fn new() -> Self {
+        OnlineSoftmax {
+            max: f32::NEG_INFINITY,
+            denom: 0.0,
+        }
+    }
+
+    /// Folds one tile of logits into the running state, rescaling the
+    /// partially-accumulated output vector `acc` (length `d`) and adding the
+    /// tile's contribution `sum_j exp(logit_j - new_max) * values[j]`.
+    ///
+    /// `values` is a row-major `[tile, d]` slab.
+    pub fn fold_tile(&mut self, logits: &[f32], values: &[f32], acc: &mut [f32]) {
+        let d = acc.len();
+        debug_assert_eq!(values.len(), logits.len() * d);
+        let tile_max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let new_max = self.max.max(tile_max);
+        if new_max == f32::NEG_INFINITY {
+            return;
+        }
+        let scale = if self.max == f32::NEG_INFINITY {
+            0.0
+        } else {
+            (self.max - new_max).exp()
+        };
+        for a in acc.iter_mut() {
+            *a *= scale;
+        }
+        self.denom *= scale;
+        for (j, &l) in logits.iter().enumerate() {
+            let w = (l - new_max).exp();
+            self.denom += w;
+            let vrow = &values[j * d..(j + 1) * d];
+            for (a, &v) in acc.iter_mut().zip(vrow.iter()) {
+                *a += w * v;
+            }
+        }
+        self.max = new_max;
+    }
+
+    /// Finalizes `acc` into the exact softmax-weighted average.
+    pub fn finish(&self, acc: &mut [f32]) {
+        if self.denom > 0.0 {
+            let inv = 1.0 / self.denom;
+            for a in acc.iter_mut() {
+                *a *= inv;
+            }
+        }
+    }
+
+    /// Log-sum-exp of everything folded so far (used to save softmax
+    /// statistics for the backward pass).
+    pub fn logsumexp(&self) -> f32 {
+        if self.denom == 0.0 {
+            f32::NEG_INFINITY
+        } else {
+            self.max + self.denom.ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::randn(&[4, 7], 1);
+        let s = softmax(&x).unwrap();
+        for row in s.data().chunks(7) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariance() {
+        let x = Tensor::randn(&[3, 5], 2);
+        let shifted = x.add_scalar(100.0);
+        assert!(softmax(&x).unwrap().allclose(&softmax(&shifted).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let x = Tensor::from_vec(vec![1.0e4, 1.0e4 + 1.0], &[1, 2]).unwrap();
+        let s = softmax(&x).unwrap();
+        assert!(!s.has_non_finite());
+        assert!(s.data()[1] > s.data()[0]);
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked() {
+        let x = Tensor::zeros(&[1, 4]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[1, 4]).unwrap();
+        let s = masked_softmax(&x, &mask).unwrap();
+        assert!((s.data()[0] - 0.5).abs() < 1e-4);
+        assert!(s.data()[1] < 1e-6);
+        assert!((s.data()[2] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn masked_softmax_fully_masked_row_is_finite() {
+        let x = Tensor::zeros(&[1, 3]);
+        let mask = Tensor::zeros(&[1, 3]);
+        let s = masked_softmax(&x, &mask).unwrap();
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn online_softmax_matches_three_pass() {
+        // Fold the same row in two arbitrary tiles and compare with the
+        // monolithic kernel applied to a weighted average.
+        let logits = [0.3f32, -1.2, 2.5, 0.0, 1.1, -0.4, 0.9];
+        let d = 3;
+        let values: Vec<f32> = (0..logits.len() * d).map(|i| (i as f32).sin()).collect();
+
+        let mut state = OnlineSoftmax::new();
+        let mut acc = vec![0.0f32; d];
+        state.fold_tile(&logits[..4], &values[..4 * d], &mut acc);
+        state.fold_tile(&logits[4..], &values[4 * d..], &mut acc);
+        state.finish(&mut acc);
+
+        let mut probs = logits.to_vec();
+        softmax_row(&mut probs);
+        let mut expect = vec![0.0f32; d];
+        for (j, &p) in probs.iter().enumerate() {
+            for k in 0..d {
+                expect[k] += p * values[j * d + k];
+            }
+        }
+        for (a, e) in acc.iter().zip(expect.iter()) {
+            assert!((a - e).abs() < 1e-5, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn online_softmax_logsumexp() {
+        let logits = [1.0f32, 2.0, 3.0];
+        let mut state = OnlineSoftmax::new();
+        let values = vec![0.0f32; 3];
+        let mut acc = vec![0.0f32; 1];
+        state.fold_tile(&logits, &values, &mut acc);
+        let expect = (1f32.exp() + 2f32.exp() + 3f32.exp()).ln();
+        assert!((state.logsumexp() - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rejects_scalar() {
+        assert!(softmax(&Tensor::scalar(1.0)).is_err());
+    }
+}

@@ -1,0 +1,1097 @@
+//! The dense row-major `f32` tensor type and its core operations.
+
+use crate::shape::{for_each_index, Shape};
+use crate::{Result, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, `f32` tensor.
+///
+/// All AlphaFold-side math in this reproduction runs through this type.
+/// Storage is always contiguous; views are materialized (the tensors in the
+/// CPU-scale training path are small by construction, so copy cost is not a
+/// concern — the *simulated* GPU path in `sf-gpusim` is where performance is
+/// modelled).
+///
+/// # Example
+///
+/// ```
+/// use sf_tensor::Tensor;
+///
+/// # fn main() -> Result<(), sf_tensor::TensorError> {
+/// let x = Tensor::zeros(&[2, 3]);
+/// let y = x.add_scalar(1.0);
+/// assert_eq!(y.sum_all(), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; dims.iter().product()],
+        }
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![value; dims.iter().product()],
+        }
+    }
+
+    /// Rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// `[0, 1, ..., n-1]` as a 1-D tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape::new(&[n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let expected: usize = dims.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+
+    /// Standard-normal random tensor (Box–Muller), deterministic in `seed`.
+    pub fn randn(dims: &[usize], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor {
+            shape: Shape::new(dims),
+            data,
+        }
+    }
+
+    /// Uniform random tensor on `[lo, hi)`, deterministic in `seed`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        Tensor {
+            shape: Shape::new(dims),
+            data: (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+        }
+    }
+
+    /// LeCun-normal initialization (`std = 1/sqrt(fan_in)`), the AlphaFold
+    /// default for linear layers.
+    pub fn lecun_normal(dims: &[usize], fan_in: usize, seed: u64) -> Self {
+        let std = 1.0 / (fan_in.max(1) as f32).sqrt();
+        Self::randn(dims, seed).mul_scalar(std)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank or bounds are invalid.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.flat_index(index)?])
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank or bounds are invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.shape.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on tensor with {} elements", self.len());
+        self.data[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise maps
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|x| -x)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Self {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Self {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Self {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Self {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(f32::abs)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Self {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Self {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Self {
+        self.map(f32::tanh)
+    }
+
+    /// Exact Gaussian error linear unit (as used by AlphaFold transitions).
+    pub fn gelu(&self) -> Self {
+        self.map(gelu_scalar)
+    }
+
+    /// Derivative of [`Tensor::gelu`] with respect to its input:
+    /// `Φ(x) + x·φ(x)` where `Φ`/`φ` are the standard normal CDF/PDF.
+    pub fn gelu_derivative(&self) -> Self {
+        self.map(|x| {
+            let cdf = 0.5 * (1.0 + erf(x as f64 / std::f64::consts::SQRT_2) as f32);
+            let pdf = (-0.5 * x * x).exp() / (2.0 * std::f32::consts::PI).sqrt();
+            cdf + x * pdf
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcasting binary ops
+    // ------------------------------------------------------------------
+
+    /// Elementwise addition with numpy-style broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.binary(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.binary(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.binary(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn div(&self, other: &Tensor) -> Result<Self> {
+        self.binary(other, "div", |a, b| a / b)
+    }
+
+    /// Elementwise maximum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn maximum(&self, other: &Tensor) -> Result<Self> {
+        self.binary(other, "maximum", f32::max)
+    }
+
+    /// Elementwise minimum with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn minimum(&self, other: &Tensor) -> Result<Self> {
+        self.binary(other, "minimum", f32::min)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// General broadcasting binary elementwise op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes do not broadcast.
+    pub fn binary(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
+        if self.shape == other.shape {
+            // Fast path: identical shapes.
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Ok(Tensor {
+                shape: self.shape.clone(),
+                data,
+            });
+        }
+        let out_shape = self.shape.broadcast(&other.shape).map_err(|_| {
+            TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            }
+        })?;
+        let mut out = Tensor::zeros(out_shape.dims());
+        let a_str = broadcast_strides(&self.shape, &out_shape);
+        let b_str = broadcast_strides(&other.shape, &out_shape);
+        let mut flat = 0usize;
+        for_each_index(out_shape.dims(), |idx| {
+            let a_off: usize = idx.iter().zip(a_str.iter()).map(|(&i, &s)| i * s).sum();
+            let b_off: usize = idx.iter().zip(b_str.iter()).map(|(&i, &s)| i * s).sum();
+            out.data[flat] = f(self.data[a_off], other.data[b_off]);
+            flat += 1;
+        });
+        Ok(out)
+    }
+
+    /// Materializes this tensor broadcast to `dims`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if not broadcastable.
+    pub fn broadcast_to(&self, dims: &[usize]) -> Result<Self> {
+        let target = Shape::new(dims);
+        if !self.shape.broadcastable_to(&target) {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast_to",
+                lhs: self.dims().to_vec(),
+                rhs: dims.to_vec(),
+            });
+        }
+        let strides = broadcast_strides(&self.shape, &target);
+        let mut out = Tensor::zeros(dims);
+        let mut flat = 0usize;
+        for_each_index(dims, |idx| {
+            let off: usize = idx.iter().zip(strides.iter()).map(|(&i, &s)| i * s).sum();
+            out.data[flat] = self.data[off];
+            flat += 1;
+        });
+        Ok(out)
+    }
+
+    /// Reduces (sums) this tensor down to `dims`, the adjoint of
+    /// [`Tensor::broadcast_to`]. Used by autograd to accumulate gradients of
+    /// broadcast operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `dims` is not broadcastable
+    /// to this tensor's shape.
+    pub fn reduce_to(&self, dims: &[usize]) -> Result<Self> {
+        let target = Shape::new(dims);
+        if !target.broadcastable_to(&self.shape) {
+            return Err(TensorError::ShapeMismatch {
+                op: "reduce_to",
+                lhs: self.dims().to_vec(),
+                rhs: dims.to_vec(),
+            });
+        }
+        let strides = broadcast_strides(&target, &self.shape);
+        let mut out = Tensor::zeros(dims);
+        let mut flat = 0usize;
+        for_each_index(self.dims(), |idx| {
+            let off: usize = idx.iter().zip(strides.iter()).map(|(&i, &s)| i * s).sum();
+            out.data[off] += self.data[flat];
+            flat += 1;
+        });
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let expected: usize = dims.iter().product();
+        if expected != self.len() {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: self.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Permutes axes; `perm` must be a permutation of `0..rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `perm` is not a valid permutation.
+    pub fn permute(&self, perm: &[usize]) -> Result<Self> {
+        let rank = self.rank();
+        if perm.len() != rank {
+            return Err(TensorError::ShapeMismatch {
+                op: "permute",
+                lhs: self.dims().to_vec(),
+                rhs: perm.to_vec(),
+            });
+        }
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            if p >= rank || seen[p] {
+                return Err(TensorError::AxisOutOfRange { axis: p, rank });
+            }
+            seen[p] = true;
+        }
+        let out_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
+        let in_strides = self.shape.strides();
+        let mut out = Tensor::zeros(&out_dims);
+        let mut flat = 0usize;
+        for_each_index(&out_dims, |idx| {
+            let mut off = 0usize;
+            for (o, &p) in perm.iter().enumerate() {
+                off += idx[o] * in_strides[p];
+            }
+            out.data[flat] = self.data[off];
+            flat += 1;
+        });
+        Ok(out)
+    }
+
+    /// Swaps the last two axes (matrix transpose over batched matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for tensors of rank < 2.
+    pub fn transpose(&self) -> Result<Self> {
+        let rank = self.rank();
+        if rank < 2 {
+            return Err(TensorError::AxisOutOfRange { axis: 1, rank });
+        }
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.swap(rank - 1, rank - 2);
+        self.permute(&perm)
+    }
+
+    /// Extracts `[start, end)` along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid axis or range.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Result<Self> {
+        let dim = self.shape.dim(axis)?;
+        if start > end || end > dim {
+            return Err(TensorError::IndexOutOfBounds { index: end, bound: dim });
+        }
+        let mut out_dims = self.dims().to_vec();
+        out_dims[axis] = end - start;
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_dims.iter().product());
+        for o in 0..outer {
+            let base = o * dim * inner;
+            data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+        }
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Concatenates tensors along `axis`. All other dimensions must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input list is empty or shapes disagree.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Self> {
+        let first = tensors.first().ok_or(TensorError::EmptyInput("concat"))?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut axis_total = 0usize;
+        for t in tensors {
+            if t.rank() != rank {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                });
+            }
+            for d in 0..rank {
+                if d != axis && t.dims()[d] != first.dims()[d] {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "concat",
+                        lhs: first.dims().to_vec(),
+                        rhs: t.dims().to_vec(),
+                    });
+                }
+            }
+            axis_total += t.dims()[axis];
+        }
+        let mut out_dims = first.dims().to_vec();
+        out_dims[axis] = axis_total;
+        let outer: usize = first.dims()[..axis].iter().product();
+        let inner: usize = first.dims()[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(out_dims.iter().product());
+        for o in 0..outer {
+            for t in tensors {
+                let ax = t.dims()[axis];
+                let base = o * ax * inner;
+                data.extend_from_slice(&t.data[base..base + ax * inner]);
+            }
+        }
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Stacks tensors of identical shape along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or shapes disagree.
+    pub fn stack(tensors: &[&Tensor]) -> Result<Self> {
+        let first = tensors.first().ok_or(TensorError::EmptyInput("stack"))?;
+        let mut data = Vec::with_capacity(first.len() * tensors.len());
+        for t in tensors {
+            if t.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack",
+                    lhs: first.dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Inserts a size-1 axis at `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `axis > rank`.
+    pub fn unsqueeze(&self, axis: usize) -> Result<Self> {
+        if axis > self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut dims = self.dims().to_vec();
+        dims.insert(axis, 1);
+        self.reshape(&dims)
+    }
+
+    /// Removes a size-1 axis at `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `axis` is out of range or not of size 1.
+    pub fn squeeze(&self, axis: usize) -> Result<Self> {
+        if self.shape.dim(axis)? != 1 {
+            return Err(TensorError::ShapeMismatch {
+                op: "squeeze",
+                lhs: self.dims().to_vec(),
+                rhs: vec![axis],
+            });
+        }
+        let mut dims = self.dims().to_vec();
+        dims.remove(axis);
+        self.reshape(&dims)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        // Kahan summation keeps long reductions stable in f32.
+        let mut sum = 0.0f32;
+        let mut c = 0.0f32;
+        for &x in &self.data {
+            let y = x - c;
+            let t = sum + y;
+            c = (t - sum) - y;
+            sum = t;
+        }
+        sum
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean_all(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] on an empty tensor.
+    pub fn max_all(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.max(x))))
+            .ok_or(TensorError::EmptyInput("max_all"))
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyInput`] on an empty tensor.
+    pub fn min_all(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.min(x))))
+            .ok_or(TensorError::EmptyInput("min_all"))
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Sums along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Self> {
+        let dim = self.shape.dim(axis)?;
+        let mut out_dims = self.dims().to_vec();
+        out_dims.remove(axis);
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let mut out = Tensor::zeros(&out_dims);
+        for o in 0..outer {
+            for a in 0..dim {
+                let base = (o * dim + a) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out.data[obase + i] += self.data[base + i];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Means along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Self> {
+        let dim = self.shape.dim(axis)?.max(1);
+        Ok(self.sum_axis(axis)?.mul_scalar(1.0 / dim as f32))
+    }
+
+    /// Maximum along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis or zero-size axis.
+    pub fn max_axis(&self, axis: usize) -> Result<Self> {
+        let dim = self.shape.dim(axis)?;
+        if dim == 0 {
+            return Err(TensorError::EmptyInput("max_axis"));
+        }
+        let mut out_dims = self.dims().to_vec();
+        out_dims.remove(axis);
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let mut out = Tensor::full(&out_dims, f32::NEG_INFINITY);
+        for o in 0..outer {
+            for a in 0..dim {
+                let base = (o * dim + a) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    let v = self.data[base + i];
+                    if v > out.data[obase + i] {
+                        out.data[obase + i] = v;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Index of the maximum along the **last** axis, dropping that axis.
+    /// Ties resolve to the first maximum.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors or a zero-size last axis.
+    pub fn argmax_last_axis(&self) -> Result<Vec<usize>> {
+        let rank = self.rank();
+        if rank == 0 {
+            return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+        }
+        let inner = *self.dims().last().expect("rank >= 1");
+        if inner == 0 {
+            return Err(TensorError::EmptyInput("argmax_last_axis"));
+        }
+        Ok(self
+            .data
+            .chunks(inner)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv { (i, v) } else { (bi, bv) }
+                    })
+                    .0
+            })
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra (delegates to ops::matmul)
+    // ------------------------------------------------------------------
+
+    /// Batched matrix multiplication with leading-dimension broadcasting.
+    ///
+    /// See [`crate::ops::matmul::matmul`] for the exact semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on contraction-dimension or batch mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Result<Self> {
+        crate::ops::matmul::matmul(self, other)
+    }
+
+    // ------------------------------------------------------------------
+    // Comparison helpers
+    // ------------------------------------------------------------------
+
+    /// True if shapes match and every element pair differs by at most `tol`
+    /// absolutely or `tol` relatively.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(other.data.iter()).all(|(&a, &b)| {
+                let diff = (a - b).abs();
+                diff <= tol || diff <= tol * a.abs().max(b.abs())
+            })
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+/// Exact GELU using the error function via `tanh`-free formulation.
+///
+/// `erf` is not in `std`, so we use the Abramowitz–Stegun rational
+/// approximation (max abs error ~1.5e-7, well below f32 resolution needs).
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + erf(x as f64 / std::f64::consts::SQRT_2) as f32)
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Strides for reading a tensor of shape `src` as if broadcast to `dst`
+/// (stride 0 on broadcast axes), aligned to `dst`'s rank.
+pub(crate) fn broadcast_strides(src: &Shape, dst: &Shape) -> Vec<usize> {
+    let src_strides = src.strides();
+    let offset = dst.rank() - src.rank();
+    let mut out = vec![0usize; dst.rank()];
+    for i in 0..src.rank() {
+        let d = src.dims()[i];
+        out[offset + i] = if d == 1 { 0 } else { src_strides[i] };
+    }
+    out
+}
+
+impl std::fmt::Display for Tensor {
+    /// Compact display: shape plus the first few elements.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{}[", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.len() > PREVIEW {
+            write!(f, ", … ({} total)", self.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 3]).len(), 6);
+        assert_eq!(Tensor::ones(&[4]).sum_all(), 4.0);
+        assert_eq!(Tensor::full(&[2], 2.5).data(), &[2.5, 2.5]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+        assert_eq!(Tensor::arange(4).data(), &[0.0, 1.0, 2.0, 3.0]);
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[1, 1]).unwrap(), 1.0);
+        assert_eq!(i.at(&[1, 2]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_vec_length_check() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let t = Tensor::randn(&[10_000], 42);
+        assert!(t.mean_all().abs() < 0.05, "mean {}", t.mean_all());
+        let var = t.square().mean_all();
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn randn_deterministic() {
+        assert_eq!(Tensor::randn(&[16], 7), Tensor::randn(&[16], 7));
+        assert_ne!(Tensor::randn(&[16], 7), Tensor::randn(&[16], 8));
+    }
+
+    #[test]
+    fn broadcasting_add() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcasting_column() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let col = Tensor::from_vec(vec![10.0, 100.0], &[2, 1]).unwrap();
+        let c = a.mul(&col).unwrap();
+        assert_eq!(c.data(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4]);
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn reduce_to_is_adjoint_of_broadcast() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = g.reduce_to(&[3]).unwrap();
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r2 = g.reduce_to(&[2, 1]).unwrap();
+        assert_eq!(r2.data(), &[3.0, 3.0]);
+        let r3 = g.reduce_to(&[]).unwrap();
+        assert_eq!(r3.item(), 6.0);
+    }
+
+    #[test]
+    fn permute_and_transpose() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]).unwrap(), t.at(&[1, 2, 3]).unwrap());
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[2, 4, 3]);
+        assert_eq!(tt.at(&[1, 3, 2]).unwrap(), t.at(&[1, 2, 3]).unwrap());
+    }
+
+    #[test]
+    fn permute_rejects_bad_perm() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+        assert!(t.permute(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let a = t.slice_axis(0, 0, 1).unwrap();
+        let b = t.slice_axis(0, 1, 3).unwrap();
+        let back = Tensor::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(back, t);
+
+        let c = t.slice_axis(1, 1, 3).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn stack_tensors() {
+        let a = Tensor::ones(&[2]);
+        let b = Tensor::zeros(&[2]);
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 1.0, 0.0, 0.0]);
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.sum_axis(0).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_axis(1).unwrap().data(), &[6.0, 15.0]);
+        assert_eq!(t.mean_axis(1).unwrap().data(), &[2.0, 5.0]);
+        assert_eq!(t.max_axis(0).unwrap().data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze() {
+        let t = Tensor::zeros(&[2, 3]);
+        let u = t.unsqueeze(1).unwrap();
+        assert_eq!(u.dims(), &[2, 1, 3]);
+        assert_eq!(u.squeeze(1).unwrap().dims(), &[2, 3]);
+        assert!(u.squeeze(0).is_err());
+    }
+
+    #[test]
+    fn argmax_last_axis_picks_maxima() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 2.0, 7.0, 0.0, -1.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_last_axis().unwrap(), vec![1, 0]);
+        // Ties resolve to the first index.
+        let tie = Tensor::from_vec(vec![3.0, 3.0], &[1, 2]).unwrap();
+        assert_eq!(tie.argmax_last_axis().unwrap(), vec![0]);
+        assert!(Tensor::scalar(1.0).argmax_last_axis().is_err());
+    }
+
+    #[test]
+    fn norm_matches_manual() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, -1.0, 3.0], &[4]).unwrap();
+        let g = t.gelu();
+        assert!((g.data()[0]).abs() < 1e-6);
+        assert!((g.data()[1] - 0.841345).abs() < 1e-3);
+        assert!((g.data()[2] + 0.158655).abs() < 1e-3);
+        assert!((g.data()[3] - 2.99595).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kahan_sum_is_stable() {
+        let mut data = vec![1.0e8f32];
+        data.extend(std::iter::repeat_n(1.0f32, 1000));
+        let t = Tensor::from_vec(data, &[1001]).unwrap();
+        // Naive f32 summation would lose all the 1.0s.
+        assert_eq!(t.sum_all(), 1.0e8 + 1000.0);
+    }
+
+    #[test]
+    fn minimum_and_clamp() {
+        let a = Tensor::from_vec(vec![1.0, 5.0, -2.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 3.0, 0.0], &[3]).unwrap();
+        assert_eq!(a.minimum(&b).unwrap().data(), &[1.0, 3.0, -2.0]);
+        assert_eq!(a.clamp(0.0, 2.0).data(), &[1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let t = Tensor::arange(20);
+        let s = format!("{t}");
+        assert!(s.contains("(20 total)"), "{s}");
+        assert!(s.starts_with("Tensor[20]["));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[3]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+}

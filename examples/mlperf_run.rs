@@ -1,0 +1,17 @@
+//! Simulates the MLPerf HPC v3.0 OpenFold submission: ScaleFold on 2080
+//! H100 GPUs (2048 training + 32 async evaluation), printing the
+//! time-to-train breakdown of the paper's Figures 9 and 10.
+//!
+//! Run with: `cargo run --release --example mlperf_run`
+
+use scalefold::experiments;
+
+fn main() {
+    println!("simulating the MLPerf HPC v3.0 OpenFold benchmark on an Eos-like cluster...");
+    println!();
+    let result = experiments::fig9_fig10();
+    println!("{result}");
+    println!();
+    let fig11 = experiments::fig11();
+    println!("{fig11}");
+}
