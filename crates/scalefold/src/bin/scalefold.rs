@@ -6,31 +6,59 @@
 //! scalefold memory [DAP]             per-rank memory footprint at DAP-n
 //! scalefold ladder                   the Figure-8 optimization ladder
 //! scalefold figures                  every table/figure reproduction
+//! scalefold faults [STEPS]           fault-injection drill on real training
+//! scalefold tradeoff [STEPS]         checkpoint-interval x failure-rate grid
 //! ```
+//!
+//! All I/O failures propagate to a nonzero exit code instead of panicking.
 
 use scalefold::{experiments, ladder_stages, OptimizationSet, Trainer, TrainerConfig};
-use sf_cluster::{ClusterConfig, ClusterSim, StragglerModel};
+use sf_cluster::{ClusterConfig, ClusterSim, FailureModel, StragglerModel};
+use sf_faults::{corrupt, FaultPlan};
 use sf_model::ModelConfig;
 use sf_opgraph::memory;
+use std::error::Error;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    match cmd {
-        "train" => train(parse_num(&args, 1, 20)),
-        "simulate" => simulate(parse_num(&args, 1, 8) as usize),
-        "memory" => memory_report(parse_num(&args, 1, 8) as usize),
+    let result = match cmd {
+        "train" => parse_num(&args, 1, 20).and_then(train),
+        "simulate" => parse_num(&args, 1, 8).and_then(|n| simulate(n as usize)),
+        "memory" => parse_num(&args, 1, 8).and_then(|n| memory_report(n as usize)),
         "ladder" => ladder(),
         "figures" => figures(),
-        _ => help(),
+        "faults" => parse_num(&args, 1, 6).and_then(fault_drill),
+        "tradeoff" => parse_num(&args, 1, 2000).and_then(tradeoff),
+        "help" | "--help" | "-h" => help(),
+        other => {
+            let _ = help();
+            eprintln!("\nscalefold: error: unknown command '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scalefold {cmd}: error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
-fn parse_num(args: &[String], idx: usize, default: u64) -> u64 {
-    args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn parse_num(args: &[String], idx: usize, default: u64) -> Result<u64, Box<dyn Error>> {
+    match args.get(idx) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("invalid numeric argument '{s}'").into()),
+    }
 }
 
-fn help() {
+fn help() -> CliResult {
     println!("scalefold — a Rust reproduction of 'ScaleFold: Reducing AlphaFold");
     println!("Initial Training Time to 10 Hours' (DAC 2024)\n");
     println!("usage: scalefold <command> [arg]\n");
@@ -39,9 +67,14 @@ fn help() {
     println!("  memory [DAP=8]      per-rank memory footprint at DAP-n");
     println!("  ladder              the Figure-8 optimization ladder");
     println!("  figures             regenerate every table/figure");
+    println!("  faults [STEPS=6]    inject worker panics, NaN grads, and a");
+    println!("                      corrupt checkpoint into a real run");
+    println!("  tradeoff [STEPS]    expected run time vs checkpoint interval");
+    println!("                      and failure rate (default 2000 steps)");
+    Ok(())
 }
 
-fn train(steps: u64) {
+fn train(steps: u64) -> CliResult {
     let mut cfg = TrainerConfig::tiny();
     cfg.model.evoformer_blocks = 1;
     cfg.model.extra_msa_blocks = 0;
@@ -54,9 +87,10 @@ fn train(steps: u64) {
         );
     }
     println!("eval (SWA weights): lDDT-Ca {:.3}", trainer.evaluate(3));
+    Ok(())
 }
 
-fn simulate(dap: usize) {
+fn simulate(dap: usize) -> CliResult {
     let cfg = ModelConfig::paper();
     println!("simulating H100 cluster step time (DP 128 x DAP-{dap})...");
     for (label, opts) in [
@@ -76,9 +110,10 @@ fn simulate(dap: usize) {
         let t = ClusterSim::new(&graph, cc).mean_step_s(40);
         println!("  {label:<10} {t:>7.3} s/step");
     }
+    Ok(())
 }
 
-fn memory_report(dap: usize) {
+fn memory_report(dap: usize) -> CliResult {
     let cfg = ModelConfig::paper();
     let dev = sf_gpusim::DeviceSpec::h100();
     println!("per-rank memory at paper scale, DAP-{dap} (H100, 80 GiB):");
@@ -94,18 +129,20 @@ fn memory_report(dap: usize) {
             if f.fits(&dev) { "fits" } else { "DOES NOT FIT" }
         );
     }
+    Ok(())
 }
 
-fn ladder() {
+fn ladder() -> CliResult {
     for e in ladder_stages(&ModelConfig::paper()) {
         println!(
             "{:<36} A100 {:>6.2}s ({:>5.2}x)  H100 {:>6.2}s ({:>5.2}x)",
             e.name, e.a100_step_s, e.a100_speedup, e.h100_step_s, e.h100_speedup
         );
     }
+    Ok(())
 }
 
-fn figures() {
+fn figures() -> CliResult {
     println!("{}", experiments::table1());
     println!("{}", experiments::fig3());
     println!("{}", experiments::fig4(2000));
@@ -113,4 +150,116 @@ fn figures() {
     println!("{}", experiments::fig8());
     println!("{}", experiments::fig9_fig10());
     println!("{}", experiments::fig11());
+    Ok(())
+}
+
+/// End-to-end fault drill on the *real* trainer: a permanently poisoned
+/// sample, a NaN-gradient step, and a bit-flipped checkpoint — the run
+/// must survive all three and resume from the newest valid checkpoint.
+fn fault_drill(steps: u64) -> CliResult {
+    let steps = steps.max(3);
+    let mut cfg = TrainerConfig::tiny();
+    cfg.model.evoformer_blocks = 1;
+    cfg.model.extra_msa_blocks = 0;
+    cfg.dataset_len = 6;
+
+    let plan = FaultPlan::none()
+        .with_worker_panic(1)
+        .with_nan_grad(1);
+    println!("fault drill: {steps} steps with an always-panicking sample #1");
+    println!("and NaN gradients injected at optimizer step 1...\n");
+    let mut trainer = Trainer::with_faults(cfg.clone(), plan);
+    for r in trainer.train(steps) {
+        println!(
+            "  step {:>4}  loss {:>8.4}  lDDT-Ca {:.3}  {}",
+            r.step,
+            r.loss,
+            r.lddt,
+            if r.skipped { "SKIPPED (non-finite grads)" } else { "ok" }
+        );
+    }
+
+    // Checkpoint twice, corrupt the newer file, and prove recovery falls
+    // back to the older one.
+    let dir = std::env::temp_dir().join(format!("scalefold_fault_drill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let older = trainer.save_checkpoint_step(&dir)?;
+    let more = trainer.train(1);
+    let newer = trainer.save_checkpoint_step(&dir)?;
+    let len = corrupt::file_len(&newer)?;
+    corrupt::flip_bit(&newer, (len / 2) as usize, 3)?;
+    println!("\ncheckpoints: {} (valid), {} (bit-flipped)", older.display(), newer.display());
+
+    let mut recovered = Trainer::new(cfg);
+    let summary = recovered
+        .resume_latest(&dir)?
+        .ok_or("no checkpoint found in drill directory")?;
+    println!(
+        "resume_latest: restored {} (step {:?}), {} corrupt file(s) skipped",
+        summary.path.display(),
+        summary.step,
+        summary.skipped.len()
+    );
+    assert_eq!(summary.path, older, "must fall back past the corrupt file");
+    let _ = more;
+
+    println!("\nrecovery log:");
+    for e in trainer.recovery_log().iter().chain(recovered.recovery_log()) {
+        println!("  - {e}");
+    }
+    println!("\ninjected faults that fired:");
+    for e in trainer.injector().log() {
+        println!("  - {e}");
+    }
+    std::fs::remove_dir_all(&dir)?;
+    println!("\ndrill passed: training survived every injected fault.");
+    Ok(())
+}
+
+/// Expected time-to-convergence versus checkpoint interval and per-rank
+/// failure rate, on the paper-scale simulated cluster.
+fn tradeoff(steps: u64) -> CliResult {
+    let steps = steps.max(10);
+    let graph = scalefold::build_graph(&ModelConfig::paper(), &OptimizationSet::scalefold());
+    let sim = ClusterSim::new(&graph, ClusterConfig::eos(128, 8));
+    let fm = FailureModel::default();
+    let intervals = [50u64, 200, 1000];
+    let year_s = 365.25 * 24.0 * 3600.0;
+    let mtbfs = [100.0 * year_s, 30.0 * year_s, 5.0 * year_s];
+    println!(
+        "expected wall-clock of a {steps}-step run on {} ranks",
+        sim.config().total_ranks()
+    );
+    println!("(columns: per-rank MTBF; rows: checkpoint every k steps)\n");
+    print!("{:>12}", "k \\ mtbf");
+    for &m in &mtbfs {
+        print!("{:>14.0}y", m / year_s);
+    }
+    println!();
+    let grid = sim.convergence_tradeoff(steps, &intervals, &mtbfs, &fm);
+    for (i, &interval) in intervals.iter().enumerate() {
+        print!("{interval:>12}");
+        for (j, _) in mtbfs.iter().enumerate() {
+            let est = &grid[i * mtbfs.len() + j].estimate;
+            print!("{:>14.1}h", est.expected_total_s / 3600.0);
+        }
+        println!();
+    }
+    let best = grid
+        .iter()
+        .min_by(|a, b| a.estimate.expected_total_s.total_cmp(&b.estimate.expected_total_s))
+        .ok_or("empty trade-off grid")?;
+    println!(
+        "\nbest cell: checkpoint every {} steps at {:.0}-year MTBF",
+        best.ckpt_interval,
+        best.rank_mtbf_s / year_s
+    );
+    println!(
+        "  expected {:.1} h = compute {:.1} h + checkpoints {:.2} h + failures {:.2} h",
+        best.estimate.expected_total_s / 3600.0,
+        best.estimate.compute_s / 3600.0,
+        best.estimate.checkpoint_overhead_s / 3600.0,
+        best.estimate.failure_overhead_s / 3600.0
+    );
+    Ok(())
 }

@@ -2,19 +2,29 @@
 //! model (tiny scale), wired through the non-blocking data pipeline and the
 //! fused Adam+SWA optimizer — every algorithm from the paper, executing for
 //! real.
+//!
+//! The loop is fault-tolerant: data-worker failures surface as
+//! [`RecoveryEvent`]s instead of crashes, non-finite gradients skip the
+//! optimizer update (the large-scale fp16 failure mode of §3.4), and
+//! [`Trainer::resume_latest`] restarts from the newest checkpoint that
+//! passes CRC verification. Faults can be injected deterministically with
+//! an `sf_faults::FaultPlan` to drill all of this end to end.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use sf_autograd::{Graph, ParamStore};
+use sf_autograd::{CheckpointError, Graph, ParamStore};
 use sf_data::featurize::featurize;
-use sf_data::loader::{Dataset, LoaderConfig, NonBlockingPipeline};
+use sf_data::loader::{Dataset, LoaderConfig, LoaderError, NonBlockingPipeline};
 use sf_data::SyntheticDataset;
+use sf_faults::{FaultInjector, FaultPlan, FaultyDataset};
 use sf_model::loss::LossBreakdown;
 use sf_model::metrics::lddt_ca;
 use sf_model::{AlphaFold, FeatureBatch, ModelConfig};
 use sf_optim::{clip_by_global_norm, AdamConfig, FusedAdamSwa, LrSchedule};
 use sf_tensor::bf16::Precision;
+use sf_tensor::Tensor;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Trainer configuration.
@@ -80,6 +90,71 @@ pub struct StepReport {
     pub lddt: f32,
     /// Learning rate used.
     pub lr: f32,
+    /// True if the optimizer update was skipped because the loss or a
+    /// gradient was non-finite (the step still counts; weights are
+    /// untouched).
+    pub skipped: bool,
+}
+
+/// One entry of the trainer's recovery log: a fault survived instead of a
+/// crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// The data pipeline reported a sample that could not be prepared;
+    /// training continued on the remaining samples.
+    DataFault {
+        /// The loader's typed error.
+        error: LoaderError,
+    },
+    /// A non-finite loss or gradient was detected; the optimizer update
+    /// was skipped.
+    NonFiniteSkipped {
+        /// The step (1-based, as in [`StepReport::step`]) that skipped.
+        step: u64,
+    },
+    /// Weights were restored from a checkpoint directory, possibly
+    /// falling back past corrupt files.
+    Resumed {
+        /// File the weights came from.
+        path: PathBuf,
+        /// Step number parsed from the file name, if present.
+        step: Option<u64>,
+        /// Newer files skipped as corrupt/unreadable.
+        skipped_files: usize,
+    },
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryEvent::DataFault { error } => write!(f, "data fault survived: {error}"),
+            RecoveryEvent::NonFiniteSkipped { step } => {
+                write!(f, "non-finite gradients at step {step}: optimizer update skipped")
+            }
+            RecoveryEvent::Resumed {
+                path,
+                step,
+                skipped_files,
+            } => write!(
+                f,
+                "resumed from {} (step {:?}, {} corrupt file(s) skipped)",
+                path.display(),
+                step,
+                skipped_files
+            ),
+        }
+    }
+}
+
+/// Outcome of [`Trainer::resume_latest`].
+#[derive(Debug)]
+pub struct ResumeSummary {
+    /// File the weights were restored from.
+    pub path: PathBuf,
+    /// Step number parsed from the file name, if present.
+    pub step: Option<u64>,
+    /// Newer files skipped as corrupt/unreadable (path, reason).
+    pub skipped: Vec<(PathBuf, String)>,
 }
 
 struct FeaturizingDataset {
@@ -123,11 +198,21 @@ pub struct Trainer {
     optimizer: FusedAdamSwa,
     step: u64,
     rng: StdRng,
+    injector: FaultInjector,
+    recovery: Vec<RecoveryEvent>,
 }
 
 impl Trainer {
     /// Creates a trainer (parameters initialize lazily on the first step).
     pub fn new(cfg: TrainerConfig) -> Self {
+        Trainer::with_faults(cfg, FaultPlan::none())
+    }
+
+    /// Creates a trainer that injects the faults of `plan` while training —
+    /// worker panics and stragglers fire inside the data pipeline,
+    /// NaN-gradient steps fire in [`Trainer::train_step`]. The run must
+    /// survive all of them; inspect [`Trainer::recovery_log`] afterwards.
+    pub fn with_faults(cfg: TrainerConfig, plan: FaultPlan) -> Self {
         let model = AlphaFold::new(cfg.model.clone());
         let optimizer = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);
         let rng = StdRng::seed_from_u64(cfg.seed);
@@ -137,6 +222,8 @@ impl Trainer {
             optimizer,
             step: 0,
             rng,
+            injector: FaultInjector::new(plan),
+            recovery: Vec::new(),
             cfg,
         }
     }
@@ -149,6 +236,16 @@ impl Trainer {
     /// Steps taken.
     pub fn step_count(&self) -> u64 {
         self.step
+    }
+
+    /// The fault injector driving this trainer (no-op for [`Trainer::new`]).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Every fault survived so far, in order.
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery
     }
 
     /// Runs one optimization step on `batch`.
@@ -173,9 +270,32 @@ impl Trainer {
                 *grad = self.cfg.precision.quantize(grad);
             }
         }
-        let grad_norm = clip_by_global_norm(&mut grads, self.cfg.clip_norm);
+        if self.injector.poison_grads_at(self.step) {
+            if let Some(grad) = grads.values_mut().next() {
+                let mut data = grad.data().to_vec();
+                if let Some(first) = data.first_mut() {
+                    *first = f32::NAN;
+                }
+                *grad = Tensor::from_vec(data, grad.dims()).expect("same shape");
+            }
+        }
+        // Non-finite guard: a NaN/Inf loss or gradient (the fp16 blow-up
+        // mode at scale) skips the optimizer update instead of destroying
+        // the weights. The step still counts so schedules stay aligned
+        // across data-parallel replicas.
+        let finite =
+            out.loss_breakdown.total.is_finite() && grads.values().all(|t| t.data().iter().all(|v| v.is_finite()));
         let lr = self.cfg.schedule.lr_at(self.step);
-        self.optimizer.step(&mut self.store, &grads, lr);
+        let grad_norm = if finite {
+            let norm = clip_by_global_norm(&mut grads, self.cfg.clip_norm);
+            self.optimizer.step(&mut self.store, &grads, lr);
+            norm
+        } else {
+            self.recovery.push(RecoveryEvent::NonFiniteSkipped {
+                step: self.step + 1,
+            });
+            f32::NAN
+        };
         let lddt = lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask);
         let LossBreakdown { total, distance, .. } = out.loss_breakdown;
         self.step += 1;
@@ -186,17 +306,25 @@ impl Trainer {
             grad_norm,
             lddt,
             lr,
+            skipped: !finite,
         }
     }
 
     /// Trains for `steps` steps, streaming batches through the real
     /// non-blocking pipeline (threads and all).
+    ///
+    /// Data faults do not abort the run: a sample whose preparation keeps
+    /// panicking is recorded in [`Trainer::recovery_log`] and skipped, and
+    /// training continues on the remaining samples.
     pub fn train(&mut self, steps: u64) -> Vec<StepReport> {
-        let dataset = Arc::new(FeaturizingDataset {
-            records: SyntheticDataset::new(self.cfg.seed ^ 0xDA7A, self.cfg.dataset_len),
-            cfg: self.cfg.model.clone(),
-            seed: self.cfg.seed,
-        });
+        let dataset = Arc::new(FaultyDataset::new(
+            FeaturizingDataset {
+                records: SyntheticDataset::new(self.cfg.seed ^ 0xDA7A, self.cfg.dataset_len),
+                cfg: self.cfg.model.clone(),
+                seed: self.cfg.seed,
+            },
+            self.injector.clone(),
+        ));
         let mut reports = Vec::with_capacity(steps as usize);
         'outer: loop {
             let epoch = self.rng.gen::<u64>();
@@ -205,15 +333,27 @@ impl Trainer {
             let loader = NonBlockingPipeline::new(
                 Arc::clone(&dataset),
                 order,
-                LoaderConfig {
-                    num_workers: self.cfg.loader_workers,
-                },
+                LoaderConfig::with_workers(self.cfg.loader_workers),
             );
-            for (_, batch) in loader {
-                reports.push(self.train_step(&batch));
-                if reports.len() as u64 >= steps {
-                    break 'outer;
+            let mut epoch_steps = 0u64;
+            for item in loader {
+                match item {
+                    Ok((_, batch)) => {
+                        reports.push(self.train_step(&batch));
+                        epoch_steps += 1;
+                        if reports.len() as u64 >= steps {
+                            break 'outer;
+                        }
+                    }
+                    Err(error) => {
+                        self.recovery.push(RecoveryEvent::DataFault { error });
+                    }
                 }
+            }
+            if epoch_steps == 0 {
+                // Every sample of the epoch failed: no progress is possible,
+                // so stop instead of spinning on a fully poisoned dataset.
+                break;
             }
         }
         reports
@@ -248,6 +388,57 @@ impl Trainer {
     ) -> Result<(), sf_autograd::CheckpointError> {
         self.store = ParamStore::load_file(path)?;
         Ok(())
+    }
+
+    /// Saves the current weights into `dir` as `ckpt-<step>.sfck`, the
+    /// layout [`Trainer::resume_latest`] scans. The write is atomic
+    /// (temp file + rename), so a crash mid-save never leaves a torn
+    /// checkpoint under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on I/O failure.
+    pub fn save_checkpoint_step(&self, dir: impl AsRef<Path>) -> Result<PathBuf, CheckpointError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
+        let path = dir.join(format!("ckpt-{:08}.sfck", self.step));
+        self.store.save_file(&path)?;
+        Ok(path)
+    }
+
+    /// Restores weights from the newest *valid* checkpoint in `dir`,
+    /// falling back past files that fail CRC verification or cannot be
+    /// parsed (bit rot, torn writes). Returns `Ok(None)` when the
+    /// directory holds no checkpoints at all.
+    ///
+    /// On success the step counter is restored from the file name, so
+    /// training resumes with the schedule where the checkpoint left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`CheckpointError`] when checkpoints exist but
+    /// every one of them is corrupt.
+    pub fn resume_latest(
+        &mut self,
+        dir: impl AsRef<Path>,
+    ) -> Result<Option<ResumeSummary>, CheckpointError> {
+        let Some(latest) = ParamStore::load_latest_valid(dir)? else {
+            return Ok(None);
+        };
+        self.store = latest.store;
+        if let Some(step) = latest.step {
+            self.step = step;
+        }
+        self.recovery.push(RecoveryEvent::Resumed {
+            path: latest.path.clone(),
+            step: latest.step,
+            skipped_files: latest.skipped.len(),
+        });
+        Ok(Some(ResumeSummary {
+            path: latest.path,
+            step: latest.step,
+            skipped: latest.skipped,
+        }))
     }
 
     /// Builds the in-memory evaluation cache (§3.4's "cached all evaluation
@@ -420,6 +611,86 @@ mod tests {
             .expect("fwd");
         assert_eq!(o1.loss_breakdown.total, o2.loss_breakdown.total);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nan_grad_step_is_skipped_and_only_that_step() {
+        // Poison optimizer step 1 (0-based): report 2 must be skipped.
+        let mut t = Trainer::with_faults(fast_cfg(), FaultPlan::none().with_nan_grad(1));
+        let reports = t.train(3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().map(|r| r.skipped).collect::<Vec<_>>(),
+            vec![false, true, false]
+        );
+        assert!(reports[1].grad_norm.is_nan());
+        assert!(t
+            .recovery_log()
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::NonFiniteSkipped { step: 2 })));
+    }
+
+    #[test]
+    fn skipped_step_leaves_weights_untouched() {
+        let mut t = Trainer::with_faults(fast_cfg(), FaultPlan::none().with_nan_grad(1));
+        let _ = t.train(1);
+        let before = t.store().clone();
+        let reports = t.train(1); // this is the poisoned step
+        assert!(reports[0].skipped);
+        for name in before.names() {
+            assert_eq!(
+                before.get(&name).expect("param").data(),
+                t.store().get(&name).expect("param").data(),
+                "weights changed across a skipped step: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_survives_poisoned_sample() {
+        let mut cfg = fast_cfg();
+        cfg.loader_workers = 2;
+        let mut t = Trainer::with_faults(cfg, FaultPlan::none().with_worker_panic(1));
+        // More steps than the epoch has healthy samples (3 of 4), so the
+        // run must consume the failed slot before finishing.
+        let reports = t.train(5);
+        assert_eq!(reports.len(), 5);
+        assert!(t
+            .recovery_log()
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::DataFault { .. })));
+    }
+
+    #[test]
+    fn resume_latest_on_empty_dir_is_none() {
+        let dir = std::env::temp_dir().join(format!("sf_resume_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut t = Trainer::new(fast_cfg());
+        assert!(t.resume_latest(&dir).expect("scan").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_latest_restores_step_and_weights() {
+        let dir = std::env::temp_dir().join(format!("sf_resume_ok_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Trainer::new(fast_cfg());
+        let _ = t.train(2);
+        let path = t.save_checkpoint_step(&dir).expect("save");
+        assert!(path.file_name().is_some());
+
+        let mut fresh = Trainer::new(fast_cfg());
+        let summary = fresh.resume_latest(&dir).expect("resume").expect("found");
+        assert_eq!(summary.step, Some(2));
+        assert_eq!(fresh.step_count(), 2);
+        for name in t.store().names() {
+            assert_eq!(
+                t.store().get(&name).expect("param").data(),
+                fresh.store().get(&name).expect("param").data(),
+                "restored weights differ: {name}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod op;
 mod params;
 
 pub use graph::{Graph, Var};
-pub use checkpoint_io::CheckpointError;
+pub use checkpoint_io::{CheckpointError, Crc32, LatestCheckpoint};
 pub use params::ParamStore;
 
 use std::fmt;

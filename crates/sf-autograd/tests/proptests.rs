@@ -161,3 +161,114 @@ proptest! {
         prop_assert_eq!(g.grad(x).expect("grad"), &first);
     }
 }
+
+/// Checkpoint-robustness properties: arbitrary corruption must surface as
+/// a typed `CheckpointError` — never a panic — and directory recovery must
+/// step over it.
+mod checkpoint_corruption {
+    use super::*;
+    use proptest::collection::vec;
+    use sf_autograd::checkpoint_io::save_v1;
+    use sf_autograd::ParamStore;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A store with 1–4 parameters of arbitrary small payloads.
+    fn arb_store() -> impl Strategy<Value = ParamStore> {
+        vec(vec(-1000i32..1000, 1..12), 1..5).prop_map(|tensors| {
+            let mut s = ParamStore::new();
+            for (i, ints) in tensors.into_iter().enumerate() {
+                let data: Vec<f32> = ints.into_iter().map(|x| x as f32 * 0.125).collect();
+                let n = data.len();
+                s.insert(format!("p{i}"), Tensor::from_vec(data, &[n]).expect("shape"));
+            }
+            s
+        })
+    }
+
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sf_ckpt_prop_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Flipping any single bit past the header yields a typed error,
+        /// never a panic and never a silently-wrong load.
+        #[test]
+        fn bit_flips_are_detected(
+            store in arb_store(),
+            pos in any::<u64>(),
+            bit in 0u8..8,
+        ) {
+            let mut bytes = Vec::new();
+            store.save_to(&mut bytes).expect("serialize");
+            // Skip the 16-byte header: count/version flips can legally
+            // decode as a shorter file; everything after it is CRC-covered.
+            let idx = 16 + (pos as usize) % (bytes.len() - 16);
+            bytes[idx] ^= 1 << bit;
+            let result = ParamStore::load_from(bytes.as_slice());
+            prop_assert!(
+                result.is_err(),
+                "flip at byte {idx} bit {bit} went undetected"
+            );
+        }
+
+        /// Truncation at any point yields a typed error, never a panic.
+        #[test]
+        fn truncation_is_detected(store in arb_store(), cut in any::<u64>()) {
+            let mut bytes = Vec::new();
+            store.save_to(&mut bytes).expect("serialize");
+            let keep = (cut as usize) % bytes.len();
+            bytes.truncate(keep);
+            prop_assert!(ParamStore::load_from(bytes.as_slice()).is_err());
+        }
+
+        /// v1 files (no CRC) load bit-exactly under the v2 reader.
+        #[test]
+        fn v1_loads_under_v2(store in arb_store()) {
+            let mut bytes = Vec::new();
+            save_v1(&store, &mut bytes).expect("v1 serialize");
+            let loaded = ParamStore::load_from(bytes.as_slice()).expect("v1 read");
+            prop_assert_eq!(loaded.len(), store.len());
+            for (name, t) in store.iter() {
+                prop_assert_eq!(loaded.get(name).expect("present"), t);
+            }
+        }
+
+        /// Directory recovery always lands on the older valid file when
+        /// the newest is corrupted at an arbitrary position.
+        #[test]
+        fn latest_valid_skips_arbitrary_corruption(
+            store in arb_store(),
+            pos in any::<u64>(),
+            bit in 0u8..8,
+        ) {
+            let dir = unique_dir("skip");
+            store.save_file(dir.join("ckpt-000005.sfck")).expect("save old");
+            let newest = dir.join("ckpt-000009.sfck");
+            store.save_file(&newest).expect("save new");
+            let mut bytes = std::fs::read(&newest).expect("read");
+            let idx = 16 + (pos as usize) % (bytes.len() - 16);
+            bytes[idx] ^= 1 << bit;
+            std::fs::write(&newest, bytes).expect("rewrite");
+
+            let latest = ParamStore::load_latest_valid(&dir)
+                .expect("scan must not error while a valid file exists")
+                .expect("found");
+            prop_assert_eq!(latest.step, Some(5));
+            prop_assert_eq!(latest.skipped.len(), 1);
+            for (name, t) in store.iter() {
+                prop_assert_eq!(latest.store.get(name).expect("present"), t);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -34,9 +34,10 @@ fn bench_pipelines(c: &mut Criterion) {
         b.iter(|| {
             let ds = Arc::new(StragglerWorkload { n });
             let mut sum = 0usize;
-            for (i, _) in
-                BlockingLoader::new(ds, (0..n).collect(), LoaderConfig { num_workers: 4 })
+            for item in
+                BlockingLoader::new(ds, (0..n).collect(), LoaderConfig::with_workers(4))
             {
+                let (i, _) = item.expect("no faults in benchmark workload");
                 std::thread::sleep(train);
                 sum += i;
             }
@@ -47,9 +48,10 @@ fn bench_pipelines(c: &mut Criterion) {
         b.iter(|| {
             let ds = Arc::new(StragglerWorkload { n });
             let mut sum = 0usize;
-            for (i, _) in
-                NonBlockingPipeline::new(ds, (0..n).collect(), LoaderConfig { num_workers: 4 })
+            for item in
+                NonBlockingPipeline::new(ds, (0..n).collect(), LoaderConfig::with_workers(4))
             {
+                let (i, _) = item.expect("no faults in benchmark workload");
                 std::thread::sleep(train);
                 sum += i;
             }

@@ -29,17 +29,19 @@ impl Dataset for PaperScenario {
 fn run(blocking: bool) -> (String, Duration) {
     let ds = Arc::new(PaperScenario);
     let order = vec![0, 1, 2, 3];
-    let cfg = LoaderConfig { num_workers: 2 };
+    let cfg = LoaderConfig::with_workers(2);
     let start = Instant::now();
     let mut yielded = String::new();
     let train = Duration::from_millis(4 * SCALE_MS);
     if blocking {
-        for (_, c) in BlockingLoader::new(ds, order, cfg) {
+        for item in BlockingLoader::new(ds, order, cfg) {
+            let (_, c) = item.expect("no faults in the paper scenario");
             yielded.push(c);
             std::thread::sleep(train);
         }
     } else {
-        for (_, c) in NonBlockingPipeline::new(ds, order, cfg) {
+        for item in NonBlockingPipeline::new(ds, order, cfg) {
+            let (_, c) = item.expect("no faults in the paper scenario");
             yielded.push(c);
             std::thread::sleep(train);
         }

@@ -20,6 +20,10 @@
 //!   overhead.
 //! - [`eval`]: time-to-train accounting with synchronous or asynchronous
 //!   (offloaded) evaluation and the CPU-DRAM evaluation-data cache.
+//! - [`failure`]: rank failures (per-rank MTBF), NCCL-style collective
+//!   timeout detection, and restart-from-checkpoint costs — expected
+//!   time-to-convergence as a function of checkpoint interval and
+//!   failure rate.
 //! - [`collective`]: *functional* ring collectives (the algorithms the
 //!   cost model prices), used by the real data-parallel trainer.
 
@@ -27,11 +31,13 @@ pub mod ablation;
 pub mod collective;
 pub mod eval;
 pub mod fabric;
+pub mod failure;
 pub mod sim;
 pub mod straggler;
 
 pub use ablation::ScalabilityBreakdown;
 pub use eval::{EvalConfig, TrainTimeline};
 pub use fabric::FabricSpec;
+pub use failure::{FailureModel, FailureRun, RunEstimate, TradeoffPoint};
 pub use sim::{ClusterConfig, ClusterSim, StepBreakdown};
 pub use straggler::StragglerModel;

@@ -124,6 +124,11 @@ impl ClusterSim {
         }
     }
 
+    /// The cluster configuration this simulator was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
     /// The per-rank compute time (no communication, no stragglers).
     pub fn base_compute_s(&self) -> f64 {
         self.base_compute_s

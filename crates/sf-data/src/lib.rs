@@ -14,7 +14,10 @@
 //!   delivery (a slow batch blocks everything behind it), and
 //!   [`loader::NonBlockingPipeline`] is the paper's fix — a priority queue
 //!   that yields the lowest-index *ready* batch immediately (best-effort
-//!   order, every batch exactly once).
+//!   order, every batch exactly once). Both loaders catch worker panics,
+//!   retry with backoff, and deliver a typed [`loader::LoaderError`]
+//!   instead of deadlocking (see `sf-faults` for deterministic fault
+//!   injection against them).
 //!
 //! [`featurize`] turns synthetic proteins into `sf_model::FeatureBatch`es
 //! (cropping, MSA sampling, BERT-style MSA masking).
@@ -24,6 +27,6 @@ pub mod loader;
 pub mod prep_time;
 pub mod protein;
 
-pub use loader::{BlockingLoader, Dataset, LoaderConfig, NonBlockingPipeline};
+pub use loader::{BlockingLoader, Dataset, LoaderConfig, LoaderError, NonBlockingPipeline};
 pub use prep_time::PrepTimeModel;
 pub use protein::{ProteinRecord, SyntheticDataset};

@@ -1,4 +1,5 @@
-//! The two data pipelines of the paper's Figure 5, with real worker threads.
+//! The two data pipelines of the paper's Figure 5, with real worker threads
+//! — hardened against worker faults.
 //!
 //! **Blocking** (PyTorch `DataLoader` semantics): batches are delivered in
 //! sampler order, so one slow batch stalls the consumer even when later
@@ -8,17 +9,29 @@
 //! queue keyed by their sampler index, and the consumer takes the
 //! *lowest-index ready* batch immediately — best-effort order, every batch
 //! delivered exactly once, and a slow batch is simply yielded later.
+//!
+//! **Fault tolerance** (this crate's fault model): `prepare` runs under
+//! `catch_unwind`, a panicking sample is retried up to
+//! [`LoaderConfig::max_retries`] times with exponential backoff, and a
+//! sample that keeps failing is delivered to the consumer as a typed
+//! [`LoaderError`] in sampler order — the pipeline never deadlocks and
+//! never silently drops a position. Dropping a loader mid-iteration wakes
+//! and joins every worker, panicked or not.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A source of preparable items (the dataset side of the pipeline).
 ///
 /// `prepare` runs on worker threads and may take wildly varying time — that
-/// variance is exactly what the non-blocking pipeline absorbs.
+/// variance is exactly what the non-blocking pipeline absorbs. `prepare`
+/// may also panic (a poisoned sample, a failing storage backend): the
+/// loaders catch the panic, retry, and surface a [`LoaderError`] if the
+/// sample never prepares.
 pub trait Dataset: Send + Sync + 'static {
     /// The prepared batch type.
     type Item: Send + 'static;
@@ -40,54 +53,226 @@ pub trait Dataset: Send + Sync + 'static {
 pub struct LoaderConfig {
     /// Worker threads preparing batches concurrently.
     pub num_workers: usize,
+    /// How many times a panicking `prepare` is retried before the sample
+    /// is reported failed. `0` fails on the first panic.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
 }
 
 impl Default for LoaderConfig {
     fn default() -> Self {
-        LoaderConfig { num_workers: 4 }
+        LoaderConfig {
+            num_workers: 4,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+        }
     }
+}
+
+impl LoaderConfig {
+    /// Default fault handling with `num_workers` threads.
+    pub fn with_workers(num_workers: usize) -> Self {
+        LoaderConfig {
+            num_workers,
+            ..LoaderConfig::default()
+        }
+    }
+}
+
+/// A data-pipeline fault surfaced to the consumer instead of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoaderError {
+    /// `Dataset::prepare(index)` panicked on every attempt.
+    PreparePanicked {
+        /// The dataset index that failed.
+        index: usize,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+        /// Panic payload of the final attempt, if it was a string.
+        message: String,
+    },
+    /// All workers exited while positions were still undelivered (a
+    /// loader-internal invariant violation; reported rather than
+    /// deadlocking the consumer).
+    WorkersDisconnected {
+        /// Sampler position the consumer was waiting on.
+        position: usize,
+    },
+}
+
+impl std::fmt::Display for LoaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoaderError::PreparePanicked {
+                index,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "prepare({index}) panicked on all {attempts} attempts: {message}"
+            ),
+            LoaderError::WorkersDisconnected { position } => {
+                write!(f, "all workers exited before position {position} was prepared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoaderError {}
+
+enum Slot<T> {
+    Ready(T),
+    Failed(LoaderError),
+}
+
+struct SharedState<T> {
+    /// Prepared (or failed) items keyed by *position in sampler order*.
+    buffer: BTreeMap<usize, Slot<T>>,
+    /// Workers still running; guards the consumer against waiting on a
+    /// position nobody will ever produce.
+    live_workers: usize,
 }
 
 struct Shared<T> {
     state: Mutex<SharedState<T>>,
     ready: Condvar,
     next_fetch: AtomicUsize,
+    shutdown: AtomicBool,
 }
 
-struct SharedState<T> {
-    /// Prepared items keyed by *position in the sampler order*.
-    buffer: BTreeMap<usize, T>,
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, SharedState<T>> {
+        // A worker panic outside `catch_unwind` could poison the mutex;
+        // the state it guards (a buffer map and a counter) stays
+        // consistent across our short critical sections, so keep going.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Decrements `live_workers` and wakes the consumer even if the worker
+/// thread unwinds unexpectedly.
+struct WorkerExitGuard<T: Send> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send> Drop for WorkerExitGuard<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.live_workers -= 1;
+        drop(st);
+        self.shared.ready.notify_all();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `prepare` under `catch_unwind` with bounded retries and
+/// exponential backoff.
+fn prepare_with_retries<D: Dataset>(
+    dataset: &Arc<D>,
+    index: usize,
+    cfg: &LoaderConfig,
+) -> Result<D::Item, LoaderError> {
+    let attempts = cfg.max_retries + 1;
+    let mut last_message = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let backoff = cfg.retry_backoff * 2u32.saturating_pow(attempt - 1);
+            std::thread::sleep(backoff);
+        }
+        match catch_unwind(AssertUnwindSafe(|| dataset.prepare(index))) {
+            Ok(item) => return Ok(item),
+            Err(payload) => last_message = panic_message(payload.as_ref()),
+        }
+    }
+    Err(LoaderError::PreparePanicked {
+        index,
+        attempts,
+        message: last_message,
+    })
 }
 
 fn spawn_workers<D: Dataset>(
     dataset: Arc<D>,
     order: Arc<Vec<usize>>,
     shared: Arc<Shared<D::Item>>,
-    num_workers: usize,
+    cfg: LoaderConfig,
 ) -> Vec<JoinHandle<()>> {
-    (0..num_workers.max(1))
+    let num_workers = cfg.num_workers.max(1);
+    shared.lock().live_workers = num_workers;
+    (0..num_workers)
         .map(|_| {
             let dataset = Arc::clone(&dataset);
             let order = Arc::clone(&order);
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || loop {
-                let pos = shared.next_fetch.fetch_add(1, Ordering::Relaxed);
-                if pos >= order.len() {
-                    return;
+            std::thread::spawn(move || {
+                let _exit = WorkerExitGuard {
+                    shared: Arc::clone(&shared),
+                };
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let pos = shared.next_fetch.fetch_add(1, Ordering::Relaxed);
+                    if pos >= order.len() {
+                        return;
+                    }
+                    let slot = match prepare_with_retries(&dataset, order[pos], &cfg) {
+                        Ok(item) => Slot::Ready(item),
+                        Err(e) => Slot::Failed(e),
+                    };
+                    let mut st = shared.lock();
+                    st.buffer.insert(pos, slot);
+                    drop(st);
+                    shared.ready.notify_all();
                 }
-                let item = dataset.prepare(order[pos]);
-                let mut st = shared.state.lock();
-                st.buffer.insert(pos, item);
-                shared.ready.notify_all();
             })
         })
         .collect()
 }
 
+fn new_shared<T>() -> Arc<Shared<T>> {
+    Arc::new(Shared {
+        state: Mutex::new(SharedState {
+            buffer: BTreeMap::new(),
+            live_workers: 0,
+        }),
+        ready: Condvar::new(),
+        next_fetch: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+    })
+}
+
+fn shutdown_and_join<T>(shared: &Shared<T>, workers: &mut Vec<JoinHandle<()>>) {
+    shared.shutdown.store(true, Ordering::Release);
+    shared.next_fetch.store(usize::MAX, Ordering::Relaxed);
+    shared.ready.notify_all();
+    for w in workers.drain(..) {
+        let _ = w.join();
+    }
+}
+
+fn deliver<T>(order: &[usize], pos: usize, slot: Slot<T>) -> Result<(usize, T), LoaderError> {
+    match slot {
+        Slot::Ready(item) => Ok((order[pos], item)),
+        Slot::Failed(e) => Err(e),
+    }
+}
+
 /// In-order pipeline (PyTorch `DataLoader` semantics): yields position 0,
 /// then 1, ... — waiting for each even if later positions are ready.
 ///
-/// Yields `(dataset_index, item)` pairs.
+/// Yields `Ok((dataset_index, item))` pairs, or `Err(LoaderError)` for a
+/// position whose sample could not be prepared.
 pub struct BlockingLoader<D: Dataset> {
     shared: Arc<Shared<D::Item>>,
     order: Arc<Vec<usize>>,
@@ -98,13 +283,9 @@ pub struct BlockingLoader<D: Dataset> {
 impl<D: Dataset> BlockingLoader<D> {
     /// Starts workers preparing `order` (a permutation of dataset indices).
     pub fn new(dataset: Arc<D>, order: Vec<usize>, cfg: LoaderConfig) -> Self {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(SharedState { buffer: BTreeMap::new() }),
-            ready: Condvar::new(),
-            next_fetch: AtomicUsize::new(0),
-        });
+        let shared = new_shared();
         let order = Arc::new(order);
-        let workers = spawn_workers(dataset, Arc::clone(&order), Arc::clone(&shared), cfg.num_workers);
+        let workers = spawn_workers(dataset, Arc::clone(&order), Arc::clone(&shared), cfg);
         BlockingLoader {
             shared,
             order,
@@ -115,33 +296,42 @@ impl<D: Dataset> BlockingLoader<D> {
 }
 
 impl<D: Dataset> Iterator for BlockingLoader<D> {
-    type Item = (usize, D::Item);
+    type Item = Result<(usize, D::Item), LoaderError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.next_yield >= self.order.len() {
             return None;
         }
         let want = self.next_yield;
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         // Strict order: wait specifically for `want`, even if others are
         // ready — this is the blocking behaviour of Figure 5 (i).
-        while !st.buffer.contains_key(&want) {
-            self.shared.ready.wait(&mut st);
-        }
-        let item = st.buffer.remove(&want).expect("checked above");
+        let slot = loop {
+            if let Some(slot) = st.buffer.remove(&want) {
+                break slot;
+            }
+            if st.live_workers == 0 {
+                // Every position gets exactly one Ready/Failed slot while
+                // workers live; reaching this means the workers are gone.
+                // Report instead of deadlocking.
+                self.next_yield += 1;
+                return Some(Err(LoaderError::WorkersDisconnected { position: want }));
+            }
+            st = self
+                .shared
+                .ready
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        };
         drop(st);
         self.next_yield += 1;
-        Some((self.order[want], item))
+        Some(deliver(&self.order, want, slot))
     }
 }
 
 impl<D: Dataset> Drop for BlockingLoader<D> {
     fn drop(&mut self) {
-        // Drain the fetch counter so workers exit, then join.
-        self.shared.next_fetch.store(usize::MAX, Ordering::Relaxed);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        shutdown_and_join(&self.shared, &mut self.workers);
     }
 }
 
@@ -149,7 +339,8 @@ impl<D: Dataset> Drop for BlockingLoader<D> {
 /// as soon as any batch is ready (best-effort order; exactly-once
 /// delivery).
 ///
-/// Yields `(dataset_index, item)` pairs.
+/// Yields `Ok((dataset_index, item))` pairs, or `Err(LoaderError)` for a
+/// sample that could not be prepared.
 pub struct NonBlockingPipeline<D: Dataset> {
     shared: Arc<Shared<D::Item>>,
     order: Arc<Vec<usize>>,
@@ -160,13 +351,9 @@ pub struct NonBlockingPipeline<D: Dataset> {
 impl<D: Dataset> NonBlockingPipeline<D> {
     /// Starts workers preparing `order` (a permutation of dataset indices).
     pub fn new(dataset: Arc<D>, order: Vec<usize>, cfg: LoaderConfig) -> Self {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(SharedState { buffer: BTreeMap::new() }),
-            ready: Condvar::new(),
-            next_fetch: AtomicUsize::new(0),
-        });
+        let shared = new_shared();
         let order = Arc::new(order);
-        let workers = spawn_workers(dataset, Arc::clone(&order), Arc::clone(&shared), cfg.num_workers);
+        let workers = spawn_workers(dataset, Arc::clone(&order), Arc::clone(&shared), cfg);
         NonBlockingPipeline {
             shared,
             order,
@@ -177,38 +364,48 @@ impl<D: Dataset> NonBlockingPipeline<D> {
 }
 
 impl<D: Dataset> Iterator for NonBlockingPipeline<D> {
-    type Item = (usize, D::Item);
+    type Item = Result<(usize, D::Item), LoaderError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.yielded >= self.order.len() {
             return None;
         }
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock();
         // Priority queue semantics: take the lowest-index ready batch, the
         // moment anything is ready — Figure 5 (ii).
-        while st.buffer.is_empty() {
-            self.shared.ready.wait(&mut st);
-        }
-        let (&pos, _) = st.buffer.iter().next().expect("non-empty");
-        let item = st.buffer.remove(&pos).expect("present");
+        let (pos, slot) = loop {
+            if let Some((&pos, _)) = st.buffer.iter().next() {
+                let slot = st.buffer.remove(&pos).expect("key just observed");
+                break (pos, slot);
+            }
+            if st.live_workers == 0 {
+                self.yielded += 1;
+                return Some(Err(LoaderError::WorkersDisconnected {
+                    position: self.yielded - 1,
+                }));
+            }
+            st = self
+                .shared
+                .ready
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        };
         drop(st);
         self.yielded += 1;
-        Some((self.order[pos], item))
+        Some(deliver(&self.order, pos, slot))
     }
 }
 
 impl<D: Dataset> Drop for NonBlockingPipeline<D> {
     fn drop(&mut self) {
-        self.shared.next_fetch.store(usize::MAX, Ordering::Relaxed);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        shutdown_and_join(&self.shared, &mut self.workers);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
     use std::time::{Duration, Instant};
 
     /// Test dataset whose item `i` takes `delays[i]` to prepare.
@@ -229,8 +426,77 @@ mod tests {
         }
     }
 
+    /// Panics on the given index — permanently or only the first `n`
+    /// attempts.
+    struct PanickyDataset {
+        len: usize,
+        panic_index: usize,
+        panic_attempts: u32,
+        attempts: AtomicU32,
+    }
+
+    impl PanickyDataset {
+        fn permanent(len: usize, panic_index: usize) -> Self {
+            PanickyDataset {
+                len,
+                panic_index,
+                panic_attempts: u32::MAX,
+                attempts: AtomicU32::new(0),
+            }
+        }
+
+        fn transient(len: usize, panic_index: usize, attempts: u32) -> Self {
+            PanickyDataset {
+                len,
+                panic_index,
+                panic_attempts: attempts,
+                attempts: AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl Dataset for PanickyDataset {
+        type Item = usize;
+
+        fn len(&self) -> usize {
+            self.len
+        }
+
+        fn prepare(&self, index: usize) -> usize {
+            if index == self.panic_index {
+                let seen = self.attempts.fetch_add(1, Ordering::SeqCst);
+                if seen < self.panic_attempts {
+                    panic!("injected panic on sample {index}");
+                }
+            }
+            index
+        }
+    }
+
     fn ms(v: u64) -> Duration {
         Duration::from_millis(v)
+    }
+
+    /// Runs `f` on a helper thread and panics if it exceeds `timeout` —
+    /// converts a would-be deadlock into a test failure.
+    fn with_deadline<T: Send + 'static>(timeout: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let h = std::thread::spawn(move || {
+            let _ = tx.send(f());
+        });
+        let out = rx
+            .recv_timeout(timeout)
+            .expect("pipeline hung: deadline exceeded");
+        h.join().expect("helper thread");
+        out
+    }
+
+    fn fast_retry_cfg(num_workers: usize) -> LoaderConfig {
+        LoaderConfig {
+            num_workers,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+        }
     }
 
     #[test]
@@ -238,8 +504,8 @@ mod tests {
         let d = Arc::new(SleepyDataset {
             delays: vec![ms(30), ms(1), ms(1), ms(1)],
         });
-        let loader = BlockingLoader::new(d, vec![0, 1, 2, 3], LoaderConfig { num_workers: 4 });
-        let got: Vec<usize> = loader.map(|(i, _)| i).collect();
+        let loader = BlockingLoader::new(d, vec![0, 1, 2, 3], LoaderConfig::with_workers(4));
+        let got: Vec<usize> = loader.map(|r| r.expect("no faults").0).collect();
         assert_eq!(got, vec![0, 1, 2, 3]);
     }
 
@@ -251,8 +517,8 @@ mod tests {
             delays: vec![ms(120), ms(5), ms(5), ms(5)],
         });
         let loader =
-            NonBlockingPipeline::new(d, vec![0, 1, 2, 3], LoaderConfig { num_workers: 4 });
-        let got: Vec<usize> = loader.map(|(i, _)| i).collect();
+            NonBlockingPipeline::new(d, vec![0, 1, 2, 3], LoaderConfig::with_workers(4));
+        let got: Vec<usize> = loader.map(|r| r.expect("no faults").0).collect();
         assert_ne!(got[0], 0, "slow batch must not be yielded first: {got:?}");
         // Exactly-once delivery.
         let mut sorted = got.clone();
@@ -275,14 +541,14 @@ mod tests {
                 std::thread::sleep(ms(10));
             };
             if blocking {
-                for (i, _) in BlockingLoader::new(d, order.clone(), LoaderConfig { num_workers: 2 }) {
-                    consume(i);
+                for r in BlockingLoader::new(d, order.clone(), LoaderConfig::with_workers(2)) {
+                    consume(r.expect("no faults").0);
                 }
             } else {
-                for (i, _) in
-                    NonBlockingPipeline::new(d, order.clone(), LoaderConfig { num_workers: 2 })
+                for r in
+                    NonBlockingPipeline::new(d, order.clone(), LoaderConfig::with_workers(2))
                 {
-                    consume(i);
+                    consume(r.expect("no faults").0);
                 }
             }
             start.elapsed()
@@ -303,12 +569,12 @@ mod tests {
         let order = vec![4, 2, 0, 1, 3];
         let got: Vec<usize> =
             BlockingLoader::new(Arc::clone(&d), order.clone(), LoaderConfig::default())
-                .map(|(i, _)| i)
+                .map(|r| r.expect("no faults").0)
                 .collect();
         assert_eq!(got, order);
 
         let mut got2: Vec<usize> = NonBlockingPipeline::new(d, order.clone(), LoaderConfig::default())
-            .map(|(i, _)| i)
+            .map(|r| r.expect("no faults").0)
             .collect();
         got2.sort_unstable();
         assert_eq!(got2, vec![0, 1, 2, 3, 4]);
@@ -333,8 +599,8 @@ mod tests {
             delays: vec![ms(2); 6],
         });
         let got: Vec<usize> =
-            NonBlockingPipeline::new(d, (0..6).collect(), LoaderConfig { num_workers: 1 })
-                .map(|(i, _)| i)
+            NonBlockingPipeline::new(d, (0..6).collect(), LoaderConfig::with_workers(1))
+                .map(|r| r.expect("no faults").0)
                 .collect();
         assert_eq!(got, (0..6).collect::<Vec<_>>()); // 1 worker => in order
     }
@@ -347,5 +613,91 @@ mod tests {
         let mut loader = NonBlockingPipeline::new(d, (0..20).collect(), LoaderConfig::default());
         let _ = loader.next();
         drop(loader); // must not hang or panic
+    }
+
+    #[test]
+    fn panicking_sample_yields_error_not_hang_nonblocking() {
+        let (got, errs) = with_deadline(Duration::from_secs(20), || {
+            let d = Arc::new(PanickyDataset::permanent(5, 2));
+            let mut got = Vec::new();
+            let mut errs = Vec::new();
+            for r in NonBlockingPipeline::new(d, (0..5).collect(), fast_retry_cfg(2)) {
+                match r {
+                    Ok((i, _)) => got.push(i),
+                    Err(e) => errs.push(e),
+                }
+            }
+            (got, errs)
+        });
+        got.iter().for_each(|&i| assert_ne!(i, 2));
+        assert_eq!(got.len(), 4);
+        assert_eq!(errs.len(), 1);
+        match &errs[0] {
+            LoaderError::PreparePanicked {
+                index,
+                attempts,
+                message,
+            } => {
+                assert_eq!(*index, 2);
+                assert_eq!(*attempts, 3); // 1 try + 2 retries
+                assert!(message.contains("injected panic"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_sample_yields_error_not_hang_blocking() {
+        let results = with_deadline(Duration::from_secs(20), || {
+            let d = Arc::new(PanickyDataset::permanent(4, 0));
+            BlockingLoader::new(d, (0..4).collect(), fast_retry_cfg(2)).collect::<Vec<_>>()
+        });
+        assert_eq!(results.len(), 4);
+        // Blocking loader preserves order, so position 0 is the failure.
+        assert!(matches!(
+            results[0],
+            Err(LoaderError::PreparePanicked { index: 0, .. })
+        ));
+        assert!(results[1..].iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn transient_panic_recovers_via_retry() {
+        let results = with_deadline(Duration::from_secs(20), || {
+            let d = Arc::new(PanickyDataset::transient(4, 1, 2));
+            NonBlockingPipeline::new(d, (0..4).collect(), fast_retry_cfg(1)).collect::<Vec<_>>()
+        });
+        // 2 panics < 1 + 2 retries, so every sample eventually delivers.
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 4);
+    }
+
+    #[test]
+    fn drop_with_panicked_worker_does_not_hang() {
+        with_deadline(Duration::from_secs(20), || {
+            let d = Arc::new(PanickyDataset::permanent(20, 0));
+            let mut loader =
+                NonBlockingPipeline::new(d, (0..20).collect(), fast_retry_cfg(3));
+            let _ = loader.next();
+            drop(loader);
+        });
+    }
+
+    #[test]
+    fn zero_retries_fails_fast() {
+        let results = with_deadline(Duration::from_secs(20), || {
+            let d = Arc::new(PanickyDataset::permanent(3, 1));
+            let cfg = LoaderConfig {
+                num_workers: 2,
+                max_retries: 0,
+                retry_backoff: Duration::from_millis(1),
+            };
+            NonBlockingPipeline::new(d, (0..3).collect(), cfg).collect::<Vec<_>>()
+        });
+        let errs: Vec<_> = results.iter().filter(|r| r.is_err()).collect();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(
+            errs[0],
+            Err(LoaderError::PreparePanicked { attempts: 1, .. })
+        ));
     }
 }

@@ -41,8 +41,8 @@ proptest! {
         let n = delays.len();
         let ds = Arc::new(DelayDataset { delays_ms: delays });
         let got: Vec<usize> =
-            NonBlockingPipeline::new(ds, (0..n).collect(), LoaderConfig { num_workers: workers })
-                .map(|(i, _)| i)
+            NonBlockingPipeline::new(ds, (0..n).collect(), LoaderConfig::with_workers(workers))
+                .map(|item| item.expect("no faults").0)
                 .collect();
         let mut sorted = got.clone();
         sorted.sort_unstable();
@@ -61,8 +61,8 @@ proptest! {
         // A nontrivial permutation as the sampler order.
         let order: Vec<usize> = (0..n).rev().collect();
         let got: Vec<usize> =
-            BlockingLoader::new(ds, order.clone(), LoaderConfig { num_workers: workers })
-                .map(|(i, _)| i)
+            BlockingLoader::new(ds, order.clone(), LoaderConfig::with_workers(workers))
+                .map(|item| item.expect("no faults").0)
                 .collect();
         prop_assert_eq!(got, order);
     }

@@ -1,0 +1,90 @@
+//! Byte-level checkpoint corruption: the storage half of the fault model.
+//!
+//! Long multi-day runs hit torn writes, bad sectors, and truncated files;
+//! these helpers produce exactly those artifacts deterministically so the
+//! checkpoint layer's CRC + fallback logic can be drilled in tests.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Flips bit `bit` (0–7) of byte `byte_index` in the file at `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read or written, or an
+/// `InvalidInput` error if `byte_index` is out of range.
+pub fn flip_bit(path: impl AsRef<Path>, byte_index: usize, bit: u8) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut bytes = fs::read(path)?;
+    let Some(b) = bytes.get_mut(byte_index) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "byte index {byte_index} out of range for {} ({} bytes)",
+                path.display(),
+                fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+            ),
+        ));
+    };
+    *b ^= 1 << (bit % 8);
+    fs::write(path, bytes)
+}
+
+/// Truncates the file at `path` to its first `keep_bytes` bytes (a torn
+/// write / partial flush).
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be opened or resized.
+pub fn truncate(path: impl AsRef<Path>, keep_bytes: u64) -> io::Result<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep_bytes)?;
+    f.sync_all()
+}
+
+/// File length in bytes (convenience for choosing corruption offsets).
+///
+/// # Errors
+///
+/// Returns an I/O error if the file's metadata cannot be read.
+pub fn file_len(path: impl AsRef<Path>) -> io::Result<u64> {
+    Ok(fs::metadata(path)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sf_faults_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let p = temp_path("flip");
+        fs::write(&p, [0u8; 8]).expect("write");
+        flip_bit(&p, 3, 1).expect("flip");
+        let bytes = fs::read(&p).expect("read");
+        assert_eq!(bytes[3], 0b10);
+        assert!(bytes.iter().enumerate().all(|(i, &b)| i == 3 || b == 0));
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn flip_bit_out_of_range_is_error() {
+        let p = temp_path("flip_oob");
+        fs::write(&p, [0u8; 4]).expect("write");
+        assert!(flip_bit(&p, 100, 0).is_err());
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn truncate_shortens_file() {
+        let p = temp_path("trunc");
+        fs::write(&p, [7u8; 100]).expect("write");
+        truncate(&p, 33).expect("truncate");
+        assert_eq!(file_len(&p).expect("len"), 33);
+        let _ = fs::remove_file(&p);
+    }
+}

@@ -30,16 +30,18 @@ fn run(label: &str, blocking: bool, delays_ms: Vec<u64>, train_ms: u64) -> Durat
     let names: Vec<char> = (0..delays_ms.len()).map(|i| (b'a' + i as u8) as char).collect();
     let ds = Arc::new(ScenarioDataset { delays_ms });
     let order: Vec<usize> = (0..ds.len()).collect();
-    let cfg = LoaderConfig { num_workers: 3 };
+    let cfg = LoaderConfig::with_workers(3);
     let start = Instant::now();
     let mut yielded = Vec::new();
     if blocking {
-        for (idx, _) in BlockingLoader::new(ds, order, cfg) {
+        for item in BlockingLoader::new(ds, order, cfg) {
+            let (idx, _) = item.expect("no faults in this demo");
             yielded.push(names[idx]);
             std::thread::sleep(Duration::from_millis(train_ms)); // "training"
         }
     } else {
-        for (idx, _) in NonBlockingPipeline::new(ds, order, cfg) {
+        for item in NonBlockingPipeline::new(ds, order, cfg) {
+            let (idx, _) = item.expect("no faults in this demo");
             yielded.push(names[idx]);
             std::thread::sleep(Duration::from_millis(train_ms));
         }

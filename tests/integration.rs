@@ -77,7 +77,7 @@ fn pipeline_under_stragglers_delivers_exactly_once() {
     let order: Vec<usize> = (0..24).collect();
     let nb: Vec<usize> =
         NonBlockingPipeline::new(Arc::new(Sleepy), order.clone(), LoaderConfig::default())
-            .map(|(i, _)| i)
+            .map(|item| item.expect("no faults").0)
             .collect();
     let mut sorted = nb.clone();
     sorted.sort_unstable();
@@ -85,7 +85,7 @@ fn pipeline_under_stragglers_delivers_exactly_once() {
     assert_ne!(nb, order, "stragglers should reorder delivery");
 
     let b: Vec<usize> = BlockingLoader::new(Arc::new(Sleepy), order.clone(), LoaderConfig::default())
-        .map(|(i, _)| i)
+        .map(|item| item.expect("no faults").0)
         .collect();
     assert_eq!(b, order, "blocking loader preserves order exactly");
 }

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `criterion_group!`/`criterion_main!` — and actually times the
+//! closures (a short warm-up, then `sample_size` timed iterations,
+//! reporting the mean). No outlier statistics, no HTML reports.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup cost.
+    SmallInput,
+    /// Large per-iteration setup cost.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("name", parameter)`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Mean wall-clock per iteration, filled in by `iter`/`iter_batched`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.iters.max(1) as u32;
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.iters.max(1) as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    fn run(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<40} {:>12.3?}/iter ({} iters)",
+            self.name, id, b.mean, b.iters
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id.clone(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from `criterion_group!` runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counted", |b| b.iter(|| runs += 1));
+        // warm-up + 3 timed iterations
+        assert_eq!(runs, 4);
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

@@ -1,0 +1,487 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API used by this workspace's
+//! property tests: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`any`], [`Just`], `prop_oneof!`,
+//! `collection::vec`, `array::uniform3`, and the `proptest!` macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! Inputs are drawn from a deterministic per-test RNG (seeded from the
+//! test name and case index, overridable via `PROPTEST_SEED`). There is
+//! **no shrinking**: a failing case panics with the regular assert
+//! message. That trades minimal counterexamples for zero dependencies,
+//! which is the right trade in a registry-less build environment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng, Standard};
+
+/// The RNG handed to strategies while generating one test case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Run configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives the cases of one `proptest!`-generated test.
+pub struct TestRunner {
+    cases: u32,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name keeps distinct tests on distinct
+        // deterministic streams.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|s| s ^ h)
+            .unwrap_or(h);
+        TestRunner {
+            cases: config.cases,
+            base_seed,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The deterministic RNG for case `i`.
+    pub fn rng_for_case(&self, i: u32) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                self.base_seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            ),
+        }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        (**self).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+impl<T: Clone> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: Clone> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "whole domain" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// Uniform choice between type-erased alternatives (see `prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from pre-boxed arms (used by the `prop_oneof!` macro).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Sizes acceptable to [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSize {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSize for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `element` with length drawn from
+    /// `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`proptest::array::uniformN`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `[V; N]` from one element strategy.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn gen_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.gen_value(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($fname:ident => $n:literal),*) => {$(
+            /// Array strategy applying one element strategy per slot.
+            pub fn $fname<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        )*};
+    }
+
+    uniform_fns!(uniform2 => 2, uniform3 => 3, uniform4 => 4);
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Boxes a strategy for `prop_oneof!`. A function rather than an `as`
+/// cast so type inference flows from the arms to the common value type.
+#[doc(hidden)]
+pub fn __box_strategy<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    Box::new(strategy)
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::__box_strategy($arm)),+])
+    };
+}
+
+/// Asserts inside a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` item macro: expands each
+/// `#[test] fn name(bindings in strategies) { body }` into a `#[test]`
+/// that runs the body over `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $pat = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRunner;
+
+    fn dims() -> impl Strategy<Value = usize> {
+        1usize..9
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (dims(), 0.0f64..1.0), s in any::<u64>()) {
+            prop_assert!((1..9).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(1u8..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..5).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1usize), 5usize..8, (2usize..3).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || (5..8).contains(&x) || x == 20, "{x}");
+        }
+
+        #[test]
+        fn arrays(p in crate::array::uniform3(-1.0f32..1.0)) {
+            prop_assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let runner = TestRunner::new(ProptestConfig::with_cases(4), "seed_test");
+        let a: Vec<u64> = (0..4).map(|i| any::<u64>().gen_value(&mut runner.rng_for_case(i))).collect();
+        let b: Vec<u64> = (0..4).map(|i| any::<u64>().gen_value(&mut runner.rng_for_case(i))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many config and
+//! report types but never serializes them (no format crate is present),
+//! so this stub provides the two trait names plus no-op derive macros —
+//! enough for every `#[derive(serde::Serialize, serde::Deserialize)]` in
+//! the tree to compile offline. If a future PR adds real serialization,
+//! replace this with the genuine crate (or extend the derive to emit
+//! impls).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
