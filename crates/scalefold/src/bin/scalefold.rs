@@ -8,10 +8,16 @@
 //! scalefold figures                  every table/figure reproduction
 //! scalefold faults [STEPS]           fault-injection drill on real training
 //! scalefold tradeoff [STEPS]         checkpoint-interval x failure-rate grid
+//! scalefold bench-kernels            CPU kernel baseline -> BENCH_kernels.json
 //! ```
+//!
+//! The global `--threads N` flag (anywhere on the command line) pins the
+//! `sf-tensor` parallel CPU backend to `N` compute threads; without it the
+//! backend honors `SF_THREADS`, then the machine's core count.
 //!
 //! All I/O failures propagate to a nonzero exit code instead of panicking.
 
+use scalefold::kernel_bench::{self, BenchScale};
 use scalefold::{experiments, ladder_stages, OptimizationSet, Trainer, TrainerConfig};
 use sf_cluster::{ClusterConfig, ClusterSim, FailureModel, StragglerModel};
 use sf_faults::{corrupt, FaultPlan};
@@ -21,7 +27,13 @@ use std::error::Error;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match extract_threads_flag(std::env::args().skip(1).collect()) {
+        Ok(rest) => rest,
+        Err(e) => {
+            eprintln!("scalefold: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
         "train" => parse_num(&args, 1, 20).and_then(train),
@@ -31,6 +43,7 @@ fn main() -> ExitCode {
         "figures" => figures(),
         "faults" => parse_num(&args, 1, 6).and_then(fault_drill),
         "tradeoff" => parse_num(&args, 1, 2000).and_then(tradeoff),
+        "bench-kernels" => bench_kernels(),
         "help" | "--help" | "-h" => help(),
         other => {
             let _ = help();
@@ -48,6 +61,33 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// Strips the global `--threads N` / `--threads=N` flag from `args`,
+/// applying it to the compute pool; returns the remaining arguments.
+fn extract_threads_flag(args: Vec<String>) -> Result<Vec<String>, Box<dyn Error>> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            Some(it.next().ok_or("--threads expects a thread count")?)
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            rest.push(a);
+            None
+        };
+        if let Some(v) = value {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("invalid thread count '{v}'"))?;
+            if n == 0 {
+                return Err("--threads expects a positive integer".into());
+            }
+            sf_tensor::pool::set_num_threads(n);
+        }
+    }
+    Ok(rest)
+}
 
 fn parse_num(args: &[String], idx: usize, default: u64) -> Result<u64, Box<dyn Error>> {
     match args.get(idx) {
@@ -71,6 +111,23 @@ fn help() -> CliResult {
     println!("                      corrupt checkpoint into a real run");
     println!("  tradeoff [STEPS]    expected run time vs checkpoint interval");
     println!("                      and failure rate (default 2000 steps)");
+    println!("  bench-kernels       time the CPU kernels (seed vs serial vs");
+    println!("                      parallel) and write BENCH_kernels.json");
+    println!("\nglobal flags:");
+    println!("  --threads N         pin the compute backend to N threads");
+    println!("                      (default: SF_THREADS, then core count)");
+    Ok(())
+}
+
+fn bench_kernels() -> CliResult {
+    println!(
+        "timing CPU kernels at AlphaFold-like shapes ({} threads)...\n",
+        sf_tensor::pool::num_threads()
+    );
+    let report = kernel_bench::run(0, BenchScale::Full);
+    println!("{}", report.to_table());
+    std::fs::write("BENCH_kernels.json", report.to_json())?;
+    println!("wrote BENCH_kernels.json");
     Ok(())
 }
 

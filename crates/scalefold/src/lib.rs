@@ -49,6 +49,7 @@ pub mod baselines;
 pub mod convergence;
 pub mod distributed;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod ladder;
 pub mod optimizations;
 pub mod trainer;

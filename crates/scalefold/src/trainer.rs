@@ -46,6 +46,9 @@ pub struct TrainerConfig {
     pub dataset_len: usize,
     /// Data-loader worker threads.
     pub loader_workers: usize,
+    /// Compute threads for the `sf-tensor` parallel CPU backend
+    /// (0 = auto: honor `SF_THREADS`, else the machine's core count).
+    pub num_threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -70,6 +73,7 @@ impl TrainerConfig {
             precision: Precision::F32,
             dataset_len: 16,
             loader_workers: 2,
+            num_threads: 0,
             seed: 7,
         }
     }
@@ -213,6 +217,9 @@ impl Trainer {
     /// NaN-gradient steps fire in [`Trainer::train_step`]. The run must
     /// survive all of them; inspect [`Trainer::recovery_log`] afterwards.
     pub fn with_faults(cfg: TrainerConfig, plan: FaultPlan) -> Self {
+        if cfg.num_threads > 0 {
+            sf_tensor::pool::set_num_threads(cfg.num_threads);
+        }
         let model = AlphaFold::new(cfg.model.clone());
         let optimizer = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);
         let rng = StdRng::seed_from_u64(cfg.seed);

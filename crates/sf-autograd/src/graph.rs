@@ -325,8 +325,8 @@ impl Graph {
         Ok(self.push(v, Op::Softmax(x)))
     }
 
-    /// Fused LayerNorm over the last axis (single tape node; single-pass
-    /// Welford forward, two-step-reduction backward).
+    /// Fused LayerNorm over the last axis (single tape node; fused
+    /// output+stats forward, two-step-reduction backward).
     ///
     /// # Errors
     ///

@@ -4,7 +4,6 @@ use crate::checkpoint::CheckpointFn;
 use crate::graph::{accumulate, Graph, Var};
 use crate::Result;
 use sf_tensor::ops::layernorm::{fused_backward, LayerNormStats};
-use sf_tensor::ops::softmax::softmax;
 use sf_tensor::Tensor;
 use std::rc::Rc;
 
@@ -165,7 +164,7 @@ impl Graph {
             Op::Matmul(a, b) => {
                 let av = &self.nodes[a.0].value;
                 let bv = &self.nodes[b.0].value;
-                let da = dy.matmul(&bv.transpose()?)?.reduce_to(av.dims())?;
+                let da = dy.matmul_bt(bv)?.reduce_to(av.dims())?;
                 let db = matmul_rhs_grad(av, bv, dy)?;
                 Pending::Two(a.0, da, b.0, db)
             }
@@ -280,7 +279,7 @@ impl Graph {
 /// `dL/dB` for `C = A @ B`, handling the rhs-broadcast case where `B` is
 /// unbatched but `A`/`dy` are batched (sum over the batch).
 fn matmul_rhs_grad(a: &Tensor, b: &Tensor, dy: &Tensor) -> Result<Tensor> {
-    let db_full = a.transpose()?.matmul(dy)?;
+    let db_full = a.matmul_at(dy)?;
     if db_full.dims() == b.dims() {
         return Ok(db_full);
     }
@@ -290,16 +289,58 @@ fn matmul_rhs_grad(a: &Tensor, b: &Tensor, dy: &Tensor) -> Result<Tensor> {
 
 /// `dx = y * (dy - sum(dy * y, last_axis, keepdim))` for `y = softmax(x)`.
 fn softmax_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
-    let rank = y.rank();
-    let prod = dy.mul(y)?;
-    let s = prod.sum_axis(rank - 1)?.unsqueeze(rank - 1)?;
-    let centered = dy.sub(&s.broadcast_to(y.dims())?)?;
-    y.mul(&centered).map_err(Into::into)
+    let mut dx = dy.clone();
+    softmax_backward_inplace(y, &mut dx)?;
+    Ok(dx)
+}
+
+/// In-place softmax backward: on entry `dx` holds the upstream gradient
+/// `dy`; on exit it holds `dx = y * (dy - Σ_last(dy * y))`. Row-wise with
+/// no temporary allocations (the seed version materialized four
+/// intermediate tensors per call), parallel over rows.
+fn softmax_backward_inplace(y: &Tensor, dx: &mut Tensor) -> Result<()> {
+    if y.dims() != dx.dims() {
+        return Err(sf_tensor::TensorError::ShapeMismatch {
+            op: "softmax backward",
+            lhs: y.dims().to_vec(),
+            rhs: dx.dims().to_vec(),
+        }
+        .into());
+    }
+    let inner = *y.dims().last().unwrap_or(&1);
+    if inner == 0 {
+        return Ok(());
+    }
+    let rows = y.len() / inner;
+    let yd = y.data();
+    let ptr = sf_tensor::pool::SendPtr::new(dx.data_mut());
+    sf_tensor::pool::parallel_for(rows, inner * 4, |range| {
+        for r in range {
+            // SAFETY: row ranges from parallel_for are disjoint.
+            let drow = unsafe { ptr.slice_mut(r * inner, inner) };
+            let yrow = &yd[r * inner..(r + 1) * inner];
+            let mut dot = 0.0f32;
+            for (d, &yv) in drow.iter().zip(yrow.iter()) {
+                dot += d * yv;
+            }
+            for (d, &yv) in drow.iter_mut().zip(yrow.iter()) {
+                *d = yv * (*d - dot);
+            }
+        }
+    });
+    Ok(())
 }
 
 /// Recompute-based backward for fused attention with pair bias.
 ///
 /// Returns `(dq, dk, dv, dbias)`.
+///
+/// Buffer discipline: the recomputed logits tensor is softmaxed **in
+/// place** to become `p`, and the `dp` tensor is overwritten in place to
+/// become `dlogits`; the transposed operands (`k^T`, `v^T`, `p^T`,
+/// `dlogits^T`) are read through the strided GEMM variants instead of
+/// being materialized. The seed version allocated eight intermediate
+/// tensors per call; this allocates the three it returns plus two.
 #[allow(clippy::type_complexity)]
 fn attention_backward(
     q: &Tensor,
@@ -311,16 +352,21 @@ fn attention_backward(
 ) -> Result<(Tensor, Tensor, Tensor, Option<Tensor>)> {
     // Recompute probabilities (this is the memory saving FlashAttention
     // backward also performs; on GPU it is tiled, here we materialize).
-    let mut logits = q.matmul(&k.transpose()?)?.mul_scalar(scale);
+    let mut logits = q.matmul_bt(k)?;
+    logits.map_inplace(|l| l * scale);
     if let Some(b) = bias {
         logits = logits.add(b)?;
     }
-    let p = softmax(&logits)?;
-    let dv = p.transpose()?.matmul(dy)?;
-    let dp = dy.matmul(&v.transpose()?)?;
-    let dlogits = softmax_backward(&p, &dp)?;
-    let dq = dlogits.matmul(k)?.mul_scalar(scale);
-    let dk = dlogits.transpose()?.matmul(q)?.mul_scalar(scale);
+    sf_tensor::ops::softmax::softmax_inplace(&mut logits)?;
+    let p = logits;
+    let dv = p.matmul_at(dy)?;
+    let mut dp = dy.matmul_bt(v)?;
+    softmax_backward_inplace(&p, &mut dp)?;
+    let dlogits = dp;
+    let mut dq = dlogits.matmul(k)?;
+    dq.map_inplace(|g| g * scale);
+    let mut dk = dlogits.matmul_at(q)?;
+    dk.map_inplace(|g| g * scale);
     let dbias = match bias {
         Some(b) => Some(dlogits.reduce_to(b.dims())?),
         None => None,

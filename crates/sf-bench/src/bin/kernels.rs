@@ -1,0 +1,59 @@
+//! Kernel benchmark baseline: seed-serial vs optimized-serial vs parallel
+//! timings for batched GEMM, LayerNorm, softmax, and fused attention at
+//! AlphaFold-like shapes. Writes `BENCH_kernels.json` in the working
+//! directory (override with `--out PATH`; pick threads with `--threads N`
+//! or `SF_THREADS`).
+
+use std::process::ExitCode;
+
+use scalefold::kernel_bench::{run, BenchScale};
+
+fn main() -> ExitCode {
+    sf_bench::banner("Kernel baseline");
+
+    let mut threads = 0usize; // 0 = auto (SF_THREADS / core count)
+    let mut out = String::from("BENCH_kernels.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    threads = n;
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --threads expects a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.get(i + 1) {
+                Some(path) => {
+                    out = path.clone();
+                    i += 2;
+                }
+                None => {
+                    eprintln!("error: --out expects a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected --threads N, --out PATH)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run(threads, BenchScale::Full);
+    println!("{}", report.to_table());
+    match std::fs::write(&out, report.to_json()) {
+        Ok(()) => {
+            println!("wrote {out} ({} threads)", report.threads);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: failed to write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

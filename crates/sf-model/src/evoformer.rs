@@ -18,6 +18,12 @@
 //! (Q, K, V, gate) are bundled through [`crate::linear::batched_apply`] —
 //! the paper's "GEMM Batching" — and attention itself is the fused
 //! pair-bias kernel from `sf-autograd`/`sf-tensor`.
+//!
+//! All of the block's heavy kernels (the bundled GEMMs, LayerNorm,
+//! softmax, and fused attention) execute on the parallel CPU backend in
+//! `sf_tensor::pool`; the thread count comes from `SF_THREADS` or
+//! `sf_tensor::pool::set_num_threads`, and results are bit-identical at
+//! every thread count, so Evoformer outputs do not depend on parallelism.
 
 use crate::linear::{batched_apply, layer_norm, Linear};
 use sf_autograd::{Graph, ParamStore, Result, Var};
@@ -630,7 +636,7 @@ mod tests {
             let w = store.get(&format!("{name}.weight")).unwrap();
             let b = store.get(&format!("{name}.bias")).unwrap();
             let flat = x.reshape(&[s * r, c_m]).unwrap();
-            flat.matmul(&w.transpose().unwrap())
+            flat.matmul_bt(w)
                 .unwrap()
                 .add(b)
                 .unwrap()
@@ -658,7 +664,7 @@ mod tests {
         let expect = o
             .reshape(&[r * r, c * c])
             .unwrap()
-            .matmul(&w.transpose().unwrap())
+            .matmul_bt(w)
             .unwrap()
             .add(bb)
             .unwrap()

@@ -12,7 +12,10 @@
 //! we attend over scalar channels rather than per-head 3-D points.
 //!
 //! This module is deliberately **not** DAP-parallelizable, matching the
-//! paper's observation that the Structure Module is serial.
+//! paper's observation that the Structure Module is serial. Its layers are
+//! serial *across* iterations, but each layer's GEMM / LayerNorm /
+//! attention kernels still run on the intra-op parallel CPU backend
+//! (`sf_tensor::pool`), which is bit-identical at every thread count.
 
 use crate::config::ModelConfig;
 use crate::evoformer::transition;

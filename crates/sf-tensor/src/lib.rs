@@ -10,14 +10,21 @@
 //!   precision formats the paper evaluates (bf16 converges; naive fp16
 //!   overflows to infinity/NaN — see `bf16` module tests).
 //! - Fused kernels mirroring the paper's Triton kernels, implemented as real
-//!   single-pass CPU routines: one-pass [`ops::layernorm`] (Welford
-//!   statistics, two-step reduction backward) and a FlashAttention-style
+//!   CPU routines: fused [`ops::layernorm`] (output + statistics in one
+//!   kernel, two-step reduction backward) and a FlashAttention-style
 //!   streaming-softmax [`ops::attention`] with the AlphaFold *pair bias*
 //!   term fused in.
 //!
 //! The fused kernels are verified against their naive multi-pass
 //! counterparts in unit and property tests; the performance effect of the
 //! fusion at GPU scale is modelled in the `sf-gpusim`/`sf-opgraph` crates.
+//!
+//! All hot kernels (GEMM, LayerNorm, softmax, attention) execute on the
+//! parallel CPU backend in [`pool`]: a dependency-free scoped thread pool
+//! whose partitioning preserves a fixed per-element accumulation order, so
+//! kernel output is **bit-identical for every thread count** (`SF_THREADS`
+//! env var / [`pool::set_num_threads`]; small inputs bypass the pool
+//! entirely).
 //!
 //! # Example
 //!
@@ -35,6 +42,8 @@
 
 pub mod bf16;
 pub mod ops;
+pub mod pool;
+pub mod scratch;
 mod shape;
 mod tensor;
 

@@ -17,7 +17,10 @@
 //! Both return identical results to within f32 tolerance (tested, including
 //! property tests).
 
+use crate::ops::matmul::matmul_bt;
 use crate::ops::softmax::{softmax, OnlineSoftmax};
+use crate::pool::{parallel_for, SendPtr};
+use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::broadcast_strides;
 use crate::{Result, Tensor, TensorError};
@@ -25,6 +28,10 @@ use crate::{Result, Tensor, TensorError};
 /// Key-tile width for the flash kernel. Small enough to exercise multi-tile
 /// paths in tests; on a GPU this would be the Triton `BLOCK_N`.
 pub const FLASH_TILE: usize = 16;
+
+/// Query rows per parallel work item (the Triton `BLOCK_M` analogue): each
+/// item packs K^T once and amortizes it over this many query rows.
+pub const FLASH_Q_BLOCK: usize = 32;
 
 fn check_qkv(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<(usize, usize, usize, usize)> {
     let rank = q.rank();
@@ -85,7 +92,7 @@ pub fn naive_attention(
     scale: f32,
 ) -> Result<Tensor> {
     check_qkv(q, k, v)?;
-    let mut logits = q.matmul(&k.transpose()?)?.mul_scalar(scale);
+    let mut logits = matmul_bt(q, k)?.mul_scalar(scale);
     if let Some(b) = bias {
         check_bias(q, logits.dims()[logits.rank() - 2], logits.dims()[logits.rank() - 1], b)?;
         logits = logits.add(b)?;
@@ -123,68 +130,114 @@ pub fn flash_attention(
     let mut out_dims = q.dims().to_vec();
     *out_dims.last_mut().expect("rank >= 2") = d;
     let mut out = Tensor::zeros(&out_dims);
-
-    // Flattened batch indexing: bias strides are aligned to the full logits
-    // shape [batch..., s_q, s_k]; we walk batch dims with an odometer.
-    let batch_dims = &q.dims()[..q.rank() - 2];
-    let mut batch_idx = vec![0usize; batch_dims.len()];
-    let mut logits_tile = [0.0f32; FLASH_TILE];
-
-    for b in 0..batch {
-        let q_base = b * s_q * d;
-        let kv_base = b * s_k * d;
-        // Bias offset contribution from the batch dims.
-        let bias_batch_off = bias_strides.as_ref().map(|st| {
-            batch_idx
-                .iter()
-                .zip(st.iter())
-                .map(|(&i, &s)| i * s)
-                .sum::<usize>()
-        });
-
-        for i in 0..s_q {
-            let qrow = &q.data()[q_base + i * d..q_base + (i + 1) * d];
-            let orow = &mut out.data_mut()[q_base + i * d..q_base + (i + 1) * d];
-            let mut state = OnlineSoftmax::new();
-            let mut j0 = 0usize;
-            while j0 < s_k {
-                let j1 = (j0 + FLASH_TILE).min(s_k);
-                let tile = j1 - j0;
-                // Tile logits: q · k_j * scale (+ bias).
-                for (t, j) in (j0..j1).enumerate() {
-                    let krow = &k.data()[kv_base + j * d..kv_base + (j + 1) * d];
-                    let mut dot = 0.0f32;
-                    for (&qv, &kv) in qrow.iter().zip(krow.iter()) {
-                        dot += qv * kv;
-                    }
-                    let mut l = dot * scale;
-                    if let (Some(bb), Some(off), Some(st)) =
-                        (bias, bias_batch_off, bias_strides.as_ref())
-                    {
-                        let rank = st.len();
-                        let bo = off + i * st[rank - 2] + j * st[rank - 1];
-                        l += bb.data()[bo];
-                    }
-                    logits_tile[t] = l;
-                }
-                let vals = &v.data()[kv_base + j0 * d..kv_base + j1 * d];
-                state.fold_tile(&logits_tile[..tile], vals, orow);
-                j0 = j1;
-            }
-            state.finish(orow);
-        }
-
-        // Advance the batch odometer.
-        let mut axis = batch_dims.len();
-        while axis > 0 {
-            axis -= 1;
-            batch_idx[axis] += 1;
-            if batch_idx[axis] < batch_dims[axis] {
-                break;
-            }
-            batch_idx[axis] = 0;
-        }
+    if batch == 0 || s_q == 0 {
+        return Ok(out);
     }
+
+    // Bias strides are aligned to the full logits shape
+    // [batch..., s_q, s_k]; precompute each flattened batch element's base
+    // offset so rows can be processed in any order (and on any thread).
+    let batch_dims = &q.dims()[..q.rank() - 2];
+    let bias_batch_offs: Option<Vec<usize>> = bias_strides.as_ref().map(|st| {
+        let mut offs = Vec::with_capacity(batch);
+        let mut batch_idx = vec![0usize; batch_dims.len()];
+        for _ in 0..batch {
+            offs.push(
+                batch_idx
+                    .iter()
+                    .zip(st.iter())
+                    .map(|(&i, &s)| i * s)
+                    .sum::<usize>(),
+            );
+            let mut axis = batch_dims.len();
+            while axis > 0 {
+                axis -= 1;
+                batch_idx[axis] += 1;
+                if batch_idx[axis] < batch_dims[axis] {
+                    break;
+                }
+                batch_idx[axis] = 0;
+            }
+        }
+        offs
+    });
+
+    // One work item per (batch, query-row block) — the paper's (batch,
+    // head) parallelization with the row axis split for load balance. Each
+    // item packs its batch element's K transposed into thread-local
+    // scratch, so a tile of logits accumulates *vectorized across the tile
+    // lanes* (the plain q·k dot product is a serial FP chain the compiler
+    // cannot vectorize). Per logit the accumulation still runs over the
+    // head dim in one fixed ascending pass, and each row's tile-by-tile
+    // online-softmax order is fixed, so output is bit-identical for every
+    // thread count.
+    let out_ptr = SendPtr::new(out.data_mut());
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let qb_per_mat = s_q.div_ceil(FLASH_Q_BLOCK);
+    let n_tasks = batch * qb_per_mat;
+    let task_cost = FLASH_Q_BLOCK.min(s_q) * s_k * (2 * d + 8);
+    parallel_for(n_tasks, task_cost, |range| {
+        let mut logits_tile = [0.0f32; FLASH_TILE];
+        scratch::with_scratch(d * s_k, |kt| {
+            // K^T pack is reused across the row blocks of one batch
+            // element; consecutive items usually share it.
+            let mut packed_for = usize::MAX;
+            for item in range {
+                let b = item / qb_per_mat;
+                let i0 = (item % qb_per_mat) * FLASH_Q_BLOCK;
+                let i1 = (i0 + FLASH_Q_BLOCK).min(s_q);
+                let q_base = b * s_q * d;
+                let kv_base = b * s_k * d;
+                let bias_batch_off = bias_batch_offs.as_ref().map(|offs| offs[b]);
+                if packed_for != b {
+                    for j in 0..s_k {
+                        let krow = &kd[kv_base + j * d..kv_base + (j + 1) * d];
+                        for (kk, &kv) in krow.iter().enumerate() {
+                            kt[kk * s_k + j] = kv;
+                        }
+                    }
+                    packed_for = b;
+                }
+                for i in i0..i1 {
+                    let qrow = &qd[q_base + i * d..q_base + (i + 1) * d];
+                    // SAFETY: each item owns its block of output rows.
+                    let orow = unsafe { out_ptr.slice_mut(q_base + i * d, d) };
+                    let mut state = OnlineSoftmax::new();
+                    let mut j0 = 0usize;
+                    while j0 < s_k {
+                        let j1 = (j0 + FLASH_TILE).min(s_k);
+                        let tile = j1 - j0;
+                        // Tile logits: q · k_j, accumulated lane-parallel
+                        // over the tile from the packed K^T rows.
+                        let lt = &mut logits_tile[..tile];
+                        lt.fill(0.0);
+                        for (kk, &qv) in qrow.iter().enumerate() {
+                            let ktrow = &kt[kk * s_k + j0..kk * s_k + j1];
+                            for (l, &kv) in lt.iter_mut().zip(ktrow.iter()) {
+                                *l += qv * kv;
+                            }
+                        }
+                        for (t, l) in lt.iter_mut().enumerate() {
+                            let mut val = *l * scale;
+                            if let (Some(bb), Some(off), Some(st)) =
+                                (bias, bias_batch_off, bias_strides.as_ref())
+                            {
+                                let rank = st.len();
+                                let bo =
+                                    off + i * st[rank - 2] + (j0 + t) * st[rank - 1];
+                                val += bb.data()[bo];
+                            }
+                            *l = val;
+                        }
+                        let vals = &vd[kv_base + j0 * d..kv_base + j1 * d];
+                        state.fold_tile(&logits_tile[..tile], vals, orow);
+                        j0 = j1;
+                    }
+                    state.finish(orow);
+                }
+            }
+        });
+    });
     Ok(out)
 }
 

@@ -6,15 +6,25 @@
 //!
 //! 1. each "thread block" processes **multiple rows** (here: the row-chunked
 //!    loop structure of [`fused_forward`]),
-//! 2. normalization statistics are computed in a **single pass** (Welford's
-//!    online mean/variance instead of the two-pass mean-then-variance),
+//! 2. normalization statistics come out of the **same kernel** as the
+//!    normalized output (no separate mean/variance launches; on this CPU
+//!    backend the row statistics use a deterministic striped-lane
+//!    reduction, the vectorizable stand-in for Triton's in-block Welford),
 //! 3. the backward pass computes weight/bias gradients with a **two-step
 //!    reduction** (per-block partial sums into an intermediate buffer, then
 //!    a column reduction) instead of atomics.
 //!
 //! [`naive_forward`]/[`naive_backward`] are the reference implementations;
 //! tests assert bit-level-tolerant agreement.
+//!
+//! The fused kernels run on the parallel CPU backend ([`crate::pool`]):
+//! the forward pass partitions rows, the backward pass partitions
+//! reduction blocks (step 1) and columns (step 2). Every per-element
+//! accumulation order is independent of the partition, so output is
+//! bit-identical for every thread count.
 
+use crate::pool::{parallel_for, SendPtr};
+use crate::scratch;
 use crate::{Result, Tensor, TensorError};
 
 /// Default epsilon used by AlphaFold layer norms.
@@ -77,8 +87,12 @@ pub fn naive_forward(
     Ok((out, stats))
 }
 
-/// Fused single-pass LayerNorm: Welford online statistics, rows processed in
-/// chunks (mirroring the multi-row-per-thread-block Triton kernel).
+/// Fused LayerNorm: one kernel produces the normalized output *and* the
+/// `(mean, rstd)` statistics the backward pass needs (mirroring the
+/// multi-row-per-thread-block Triton kernel — no separate mean/var/normalize
+/// launches). Row statistics use the deterministic 8-lane striped reduction
+/// of [`lane_sum`]: a scalar Welford recurrence would carry a divide on the
+/// loop, which serializes on a CPU, while the striped two-pass vectorizes.
 ///
 /// # Errors
 ///
@@ -93,27 +107,55 @@ pub fn fused_forward(
     let rows = x.len() / inner;
     let mut out = x.clone();
     let mut stats = LayerNormStats {
-        mean: Vec::with_capacity(rows),
-        rstd: Vec::with_capacity(rows),
+        mean: vec![0.0; rows],
+        rstd: vec![0.0; rows],
     };
-    for row in out.data_mut().chunks_mut(inner) {
-        // Single pass: Welford's recurrence for mean and M2.
-        let mut mean = 0.0f32;
-        let mut m2 = 0.0f32;
-        for (i, &v) in row.iter().enumerate() {
-            let delta = v - mean;
-            mean += delta / (i + 1) as f32;
-            m2 += delta * (v - mean);
+    let out_ptr = SendPtr::new(out.data_mut());
+    let mean_ptr = SendPtr::new(&mut stats.mean);
+    let rstd_ptr = SendPtr::new(&mut stats.rstd);
+    let (gd, bd) = (gamma.data(), beta.data());
+    // ~8 scalar ops per element: two reduction passes + normalize pass.
+    parallel_for(rows, inner * 8, |range| {
+        for r in range {
+            // SAFETY: row ranges from parallel_for are disjoint.
+            let row = unsafe { out_ptr.slice_mut(r * inner, inner) };
+            let mean = lane_sum(row, |v| v) / inner as f32;
+            let var = lane_sum(row, |v| (v - mean) * (v - mean)) / inner as f32;
+            let rstd = 1.0 / (var + eps).sqrt();
+            for (v, (&g, &b)) in row.iter_mut().zip(gd.iter().zip(bd.iter())) {
+                *v = (*v - mean) * rstd * g + b;
+            }
+            // SAFETY: one stats slot per row, rows are disjoint.
+            unsafe {
+                mean_ptr.slice_mut(r, 1)[0] = mean;
+                rstd_ptr.slice_mut(r, 1)[0] = rstd;
+            }
         }
-        let var = m2 / inner as f32;
-        let rstd = 1.0 / (var + eps).sqrt();
-        for (v, (&g, &b)) in row.iter_mut().zip(gamma.data().iter().zip(beta.data().iter())) {
-            *v = (*v - mean) * rstd * g + b;
-        }
-        stats.mean.push(mean);
-        stats.rstd.push(rstd);
-    }
+    });
     Ok((out, stats))
+}
+
+/// Deterministic vectorizable row reduction: accumulates `f(x)` into 8
+/// fixed lanes (lane `j` owns elements `j mod 8`) and combines them in a
+/// fixed tree, so the result depends only on the data — never on thread
+/// count or partitioning. The scalar `iter().sum()` chain this replaces
+/// cannot vectorize (FP addition is not reassociable); striping the sum
+/// across 8 lanes makes the reduction order explicit *and* SIMD-friendly.
+#[inline]
+fn lane_sum<F: Fn(f32) -> f32>(xs: &[f32], f: F) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = xs.chunks_exact(8);
+    for c in chunks.by_ref() {
+        for (lane, &v) in lanes.iter_mut().zip(c.iter()) {
+            *lane += f(v);
+        }
+    }
+    let mut s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for &v in chunks.remainder() {
+        s += f(v);
+    }
+    s
 }
 
 /// Gradients of a LayerNorm: `(dx, dgamma, dbeta)`.
@@ -199,45 +241,69 @@ pub fn fused_backward(
         });
     }
     let num_blocks = rows.div_ceil(block_rows);
-    // Step 1: per-block partial reductions into the intermediate buffer.
-    let mut partial_g = vec![0.0f32; num_blocks * inner];
-    let mut partial_b = vec![0.0f32; num_blocks * inner];
     let mut dx = Tensor::zeros(x.dims());
-    for blk in 0..num_blocks {
-        let r0 = blk * block_rows;
-        let r1 = (r0 + block_rows).min(rows);
-        for r in r0..r1 {
-            let xs = &x.data()[r * inner..(r + 1) * inner];
-            let dys = &dy.data()[r * inner..(r + 1) * inner];
-            let (mean, rstd) = (stats.mean[r], stats.rstd[r]);
-            let mut sum_dxhat = 0.0f32;
-            let mut sum_dxhat_xhat = 0.0f32;
-            for i in 0..inner {
-                let xhat = (xs[i] - mean) * rstd;
-                let dxhat = dys[i] * gamma.data()[i];
-                sum_dxhat += dxhat;
-                sum_dxhat_xhat += dxhat * xhat;
-                partial_g[blk * inner + i] += dys[i] * xhat;
-                partial_b[blk * inner + i] += dys[i];
-            }
-            let n = inner as f32;
-            for i in 0..inner {
-                let xhat = (xs[i] - mean) * rstd;
-                let dxhat = dys[i] * gamma.data()[i];
-                dx.data_mut()[r * inner + i] =
-                    rstd * (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
-            }
-        }
-    }
-    // Step 2: column reduction of the intermediate buffer.
     let mut dgamma = Tensor::zeros(&[inner]);
     let mut dbeta = Tensor::zeros(&[inner]);
-    for blk in 0..num_blocks {
-        for i in 0..inner {
-            dgamma.data_mut()[i] += partial_g[blk * inner + i];
-            dbeta.data_mut()[i] += partial_b[blk * inner + i];
-        }
-    }
+    // Step 1: per-block partial reductions into the intermediate buffer.
+    // Blocks are the parallel unit; block boundaries depend only on
+    // `block_rows`, never on the thread count, so the reduction order per
+    // partial element is fixed.
+    scratch::with_zeroed_scratch(2 * num_blocks * inner, |partial| {
+        let partial_ptr = SendPtr::new(partial);
+        let dx_ptr = SendPtr::new(dx.data_mut());
+        let (xd, dyd, gd) = (x.data(), dy.data(), gamma.data());
+        parallel_for(num_blocks, block_rows.min(rows) * inner * 12, |range| {
+            for blk in range {
+                let r0 = blk * block_rows;
+                let r1 = (r0 + block_rows).min(rows);
+                // SAFETY: each block owns its partial rows and dx rows.
+                let pg = unsafe { partial_ptr.slice_mut(blk * inner, inner) };
+                let pb = unsafe { partial_ptr.slice_mut((num_blocks + blk) * inner, inner) };
+                for r in r0..r1 {
+                    let xs = &xd[r * inner..(r + 1) * inner];
+                    let dys = &dyd[r * inner..(r + 1) * inner];
+                    let dxs = unsafe { dx_ptr.slice_mut(r * inner, inner) };
+                    let (mean, rstd) = (stats.mean[r], stats.rstd[r]);
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for i in 0..inner {
+                        let xhat = (xs[i] - mean) * rstd;
+                        let dxhat = dys[i] * gd[i];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                        pg[i] += dys[i] * xhat;
+                        pb[i] += dys[i];
+                    }
+                    let n = inner as f32;
+                    for i in 0..inner {
+                        let xhat = (xs[i] - mean) * rstd;
+                        let dxhat = dys[i] * gd[i];
+                        dxs[i] = rstd * (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n);
+                    }
+                }
+            }
+        });
+        // Step 2: column reduction of the intermediate buffer, parallel
+        // over columns; each column sums blocks in ascending order.
+        let dg_ptr = SendPtr::new(dgamma.data_mut());
+        let db_ptr = SendPtr::new(dbeta.data_mut());
+        let partial_ro: &[f32] = partial;
+        parallel_for(inner, num_blocks * 2, |range| {
+            for i in range {
+                let mut g = 0.0f32;
+                let mut b = 0.0f32;
+                for blk in 0..num_blocks {
+                    g += partial_ro[blk * inner + i];
+                    b += partial_ro[(num_blocks + blk) * inner + i];
+                }
+                // SAFETY: one column slot per item.
+                unsafe {
+                    dg_ptr.slice_mut(i, 1)[0] = g;
+                    db_ptr.slice_mut(i, 1)[0] = b;
+                }
+            }
+        });
+    });
     Ok((dx, dgamma, dbeta))
 }
 

@@ -1,12 +1,41 @@
 //! Blocked general matrix multiplication with batch broadcasting, plus the
 //! batched-GEMM bundling primitive the paper uses before MHA (§3.3.1,
 //! "GEMM Batching").
+//!
+//! The engine is a packed, register-tiled GEMM parallelized over
+//! batch × row blocks through [`crate::pool`]:
+//!
+//! - The B operand is packed one `NR`-column panel at a time into
+//!   thread-local scratch, so the micro-kernel streams it contiguously
+//!   regardless of transposition.
+//! - The micro-kernel computes an `MR × NR` tile in registers and *assigns*
+//!   the result (the seed implementation zero-initialized the output and
+//!   then accumulated with `+=`, reading every output element back once per
+//!   k-tile — that double traffic is gone).
+//! - Each output element is accumulated over `k` in one fixed ascending
+//!   pass, and row-block boundaries are multiples of `MR`, so the result is
+//!   **bit-identical for every thread count** (asserted in
+//!   `tests/parallel_determinism.rs`).
+//!
+//! [`matmul_bt`] (`a @ b^T`) and [`matmul_at`] (`a^T @ b`) reuse the same
+//! engine with stride/packing twists instead of materializing a transposed
+//! copy — these are the shapes the attention forward and backward passes
+//! actually need.
 
+use crate::pool::{parallel_for, SendPtr};
+use crate::scratch;
 use crate::{Result, Tensor, TensorError};
 
-/// Cache-blocking tile edge for the inner GEMM. 32×32 f32 tiles (4 KiB per
-/// operand tile) stay comfortably inside L1 on every x86-64 this runs on.
+/// Cache-blocking tile edge for [`gemm_block`], the seed reference kernel.
 const TILE: usize = 32;
+
+/// Micro-kernel rows: C tiles are `MR × NR`, held entirely in registers.
+const MR: usize = 4;
+/// Micro-kernel columns (two 8-lane vectors per accumulator row).
+const NR: usize = 16;
+/// Rows per parallel task. A multiple of `MR` so the register-tile grid is
+/// identical no matter where the row partition falls.
+const ROW_BLOCK: usize = 32;
 
 /// Batched matrix product `a @ b`.
 ///
@@ -36,12 +65,64 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         dims.pop();
         return out.reshape(&dims);
     }
+    batched_gemm(a, b, false, false, "matmul")
+}
 
-    let (am, ak) = (a.dims()[a.rank() - 2], a.dims()[a.rank() - 1]);
-    let (bk, bn) = (b.dims()[b.rank() - 2], b.dims()[b.rank() - 1]);
+/// `a @ b^T` without materializing the transpose: `[..., m, k]` against
+/// `[..., n, k]` gives `[..., m, n]`, with the same batch-broadcast rules as
+/// [`matmul`]. This is the natural layout for `q @ k^T` and for linear
+/// layers stored as `[out, in]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on contraction or batch mismatch,
+/// or if either operand has rank < 2.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    batched_gemm(a, b, false, true, "matmul_bt")
+}
+
+/// `a^T @ b` without materializing the transpose: `[..., k, m]` against
+/// `[..., k, n]` gives `[..., m, n]`, with the same batch-broadcast rules as
+/// [`matmul`]. This is the `p^T @ dy` / `dlogits^T @ q` shape of the
+/// attention backward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on contraction or batch mismatch,
+/// or if either operand has rank < 2.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    batched_gemm(a, b, true, false, "matmul_at")
+}
+
+/// Shared engine behind [`matmul`] / [`matmul_bt`] / [`matmul_at`].
+fn batched_gemm(
+    a: &Tensor,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+    op: &'static str,
+) -> Result<Tensor> {
+    if a.rank() < 2 || b.rank() < 2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    // Logical dims after the (virtual) transposes.
+    let (am, ak) = if ta {
+        (a.dims()[a.rank() - 1], a.dims()[a.rank() - 2])
+    } else {
+        (a.dims()[a.rank() - 2], a.dims()[a.rank() - 1])
+    };
+    let (bk, bn) = if tb {
+        (b.dims()[b.rank() - 1], b.dims()[b.rank() - 2])
+    } else {
+        (b.dims()[b.rank() - 2], b.dims()[b.rank() - 1])
+    };
     if ak != bk {
         return Err(TensorError::ShapeMismatch {
-            op: "matmul",
+            op,
             lhs: a.dims().to_vec(),
             rhs: b.dims().to_vec(),
         });
@@ -57,38 +138,186 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         (b_batch.to_vec(), true, false)
     } else {
         return Err(TensorError::ShapeMismatch {
-            op: "matmul batch",
+            op,
             lhs: a.dims().to_vec(),
             rhs: b.dims().to_vec(),
         });
     };
 
+    let (m, k, n) = (am, ak, bn);
     let batch: usize = batch_dims.iter().product();
     let mut out_dims = batch_dims.clone();
-    out_dims.push(am);
-    out_dims.push(bn);
+    out_dims.push(m);
+    out_dims.push(n);
+    // The kernel assigns every output element exactly once, so the zero
+    // fill is never read back; `vec![0.0; _]` lazily maps zero pages, which
+    // keeps this allocation O(1) for large outputs.
     let mut out = Tensor::zeros(&out_dims);
-
-    let a_stride = am * ak;
-    let b_stride = bk * bn;
-    let o_stride = am * bn;
-    for i in 0..batch {
-        let a_off = if a_repeat { 0 } else { i * a_stride };
-        let b_off = if b_repeat { 0 } else { i * b_stride };
-        gemm_block(
-            &a.data()[a_off..a_off + a_stride],
-            &b.data()[b_off..b_off + b_stride],
-            &mut out.data_mut()[i * o_stride..(i + 1) * o_stride],
-            am,
-            ak,
-            bn,
-        );
+    if batch == 0 || m == 0 || n == 0 {
+        return Ok(out);
     }
+
+    // Strides of the logical A over (row, k): a plain row-major matrix, or
+    // its stored transpose read column-wise.
+    let (ars, acs) = if ta { (1, am) } else { (ak, 1) };
+    let a_stride = ak * am;
+    let b_stride = bk * bn;
+    let o_stride = m * n;
+
+    let rb_per_mat = m.div_ceil(ROW_BLOCK);
+    let n_tasks = batch * rb_per_mat;
+    let task_cost = ROW_BLOCK.min(m) * k * n * 2;
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let out_ptr = SendPtr::new(out.data_mut());
+
+    parallel_for(n_tasks, task_cost, |range| {
+        scratch::with_scratch(k.max(1) * NR, |pack| {
+            for t in range {
+                let bi = t / rb_per_mat;
+                let rb = t % rb_per_mat;
+                let r0 = rb * ROW_BLOCK;
+                let r1 = (r0 + ROW_BLOCK).min(m);
+                let a_off = if a_repeat { 0 } else { bi * a_stride };
+                let b_off = if b_repeat { 0 } else { bi * b_stride };
+                let a_mat = &a_data[a_off..a_off + a_stride];
+                let b_mat = &b_data[b_off..b_off + b_stride];
+                // SAFETY: tasks own disjoint (batch, row-block) regions.
+                let c_rows =
+                    unsafe { out_ptr.slice_mut(bi * o_stride + r0 * n, (r1 - r0) * n) };
+                gemm_rows(a_mat, ars, acs, b_mat, tb, k, n, r0, r1, c_rows, pack);
+            }
+        });
+    });
     Ok(out)
+}
+
+/// Computes rows `[r0, r1)` of `C = A_logical @ B_logical` into `c` (a
+/// `(r1 - r0) × n` row-major slab), packing B one panel at a time.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    b: &[f32],
+    tb: bool,
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    c: &mut [f32],
+    pack: &mut [f32],
+) {
+    let rows = r1 - r0;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let jw = (n - j0).min(NR);
+        pack_panel(b, tb, k, n, j0, jw, pack);
+        let mut i0 = 0usize;
+        while i0 < rows {
+            let iw = (rows - i0).min(MR);
+            micro_tile(a, ars, acs, r0 + i0, iw, k, pack, c, n, i0, j0, jw);
+            i0 += MR;
+        }
+        j0 += NR;
+    }
+}
+
+/// Packs columns `[j0, j0 + jw)` of the logical B into a `k × NR` panel
+/// (zero-padded beyond `jw` so the micro-kernel runs full vectors).
+fn pack_panel(b: &[f32], tb: bool, k: usize, n: usize, j0: usize, jw: usize, pack: &mut [f32]) {
+    if tb {
+        // Stored [n, k]: logical column j is the stored row j, contiguous.
+        for jj in 0..jw {
+            let col = &b[(j0 + jj) * k..(j0 + jj) * k + k];
+            for (kk, &v) in col.iter().enumerate() {
+                pack[kk * NR + jj] = v;
+            }
+        }
+        for jj in jw..NR {
+            for kk in 0..k {
+                pack[kk * NR + jj] = 0.0;
+            }
+        }
+    } else {
+        for kk in 0..k {
+            let row = &mut pack[kk * NR..kk * NR + NR];
+            row[..jw].copy_from_slice(&b[kk * n + j0..kk * n + j0 + jw]);
+            row[jw..].fill(0.0);
+        }
+    }
+}
+
+/// Register-tiled `iw × NR` kernel: accumulates over the full `k` range in
+/// one fixed ascending pass and *assigns* the tile into `c`. The single
+/// pass (same for interior and edge tiles) is what makes parallel output
+/// bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_tile(
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    row0: usize,
+    iw: usize,
+    k: usize,
+    pack: &[f32],
+    c: &mut [f32],
+    n: usize,
+    c_row0: usize,
+    j0: usize,
+    jw: usize,
+) {
+    if iw == MR {
+        // Full-tile fast path: four independently named accumulator rows
+        // and a checked-free panel walk (`chunks_exact`) let the compiler
+        // keep the whole 4 x NR tile in vector registers. Per-element
+        // arithmetic (one ascending k pass) is identical to the edge path.
+        let mut acc0 = [0.0f32; NR];
+        let mut acc1 = [0.0f32; NR];
+        let mut acc2 = [0.0f32; NR];
+        let mut acc3 = [0.0f32; NR];
+        for (kk, brow) in pack.chunks_exact(NR).take(k).enumerate() {
+            let a0 = a[row0 * ars + kk * acs];
+            let a1 = a[(row0 + 1) * ars + kk * acs];
+            let a2 = a[(row0 + 2) * ars + kk * acs];
+            let a3 = a[(row0 + 3) * ars + kk * acs];
+            for jj in 0..NR {
+                let bv = brow[jj];
+                acc0[jj] += a0 * bv;
+                acc1[jj] += a1 * bv;
+                acc2[jj] += a2 * bv;
+                acc3[jj] += a3 * bv;
+            }
+        }
+        for (r, arow) in [acc0, acc1, acc2, acc3].iter().enumerate() {
+            let dst = &mut c[(c_row0 + r) * n + j0..(c_row0 + r) * n + j0 + jw];
+            dst.copy_from_slice(&arow[..jw]);
+        }
+        return;
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    for (kk, brow) in pack.chunks_exact(NR).take(k).enumerate() {
+        for (r, arow) in acc.iter_mut().enumerate().take(iw) {
+            let av = a[(row0 + r) * ars + kk * acs];
+            for (x, &bv) in arow.iter_mut().zip(brow.iter()) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (r, arow) in acc.iter().enumerate().take(iw) {
+        let dst = &mut c[(c_row0 + r) * n + j0..(c_row0 + r) * n + j0 + jw];
+        dst.copy_from_slice(&arow[..jw]);
+    }
 }
 
 /// `c += a @ b` on dense row-major buffers, cache-blocked with an i-k-j
 /// inner order (streams `b` rows, accumulates into `c` rows).
+///
+/// This is the **seed** serial kernel, kept as the baseline that
+/// `scalefold bench-kernels` and the regression tests measure the packed
+/// parallel engine against.
 pub fn gemm_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -148,7 +377,8 @@ pub fn batched_linear(
     let stacked = Tensor::concat(weights, 0)?;
     let rows: usize = x.len() / in_dim;
     let x2 = x.reshape(&[rows, in_dim])?;
-    let big = x2.matmul(&stacked.transpose()?)?; // [rows, out_total]
+    // `x @ stacked^T` directly — no transposed copy of the weight stack.
+    let big = matmul_bt(&x2, &stacked)?; // [rows, out_total]
 
     let mut outs = Vec::with_capacity(weights.len());
     let mut col = 0usize;
@@ -192,6 +422,16 @@ mod tests {
         let b = Tensor::randn(&[33, 9], 2);
         let c = matmul(&a, &b).unwrap();
         assert!(c.allclose(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_matches_seed_gemm_block() {
+        let (m, k, n) = (37, 19, 23);
+        let a = Tensor::randn(&[m, k], 41);
+        let b = Tensor::randn(&[k, n], 42);
+        let mut c_seed = Tensor::zeros(&[m, n]);
+        gemm_block(a.data(), b.data(), c_seed.data_mut(), m, k, n);
+        assert!(matmul(&a, &b).unwrap().allclose(&c_seed, 1e-4));
     }
 
     #[test]
@@ -246,6 +486,59 @@ mod tests {
         let a3 = Tensor::zeros(&[2, 2, 3]);
         let b3 = Tensor::zeros(&[3, 3, 4]);
         assert!(matmul(&a3, &b3).is_err());
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::randn(&[9, 13], 20);
+        let b = Tensor::randn(&[7, 13], 21); // logical b^T is [13, 7]
+        let expect = matmul(&a, &b.transpose().unwrap()).unwrap();
+        let got = matmul_bt(&a, &b).unwrap();
+        assert_eq!(got.dims(), &[9, 7]);
+        assert_eq!(got.data(), expect.data(), "bt engine must agree bitwise");
+    }
+
+    #[test]
+    fn matmul_bt_batched_with_broadcast_rhs() {
+        let a = Tensor::randn(&[3, 8, 5], 22);
+        let b = Tensor::randn(&[6, 5], 23);
+        let expect = matmul(&a, &b.transpose().unwrap()).unwrap();
+        let got = matmul_bt(&a, &b).unwrap();
+        assert_eq!(got.dims(), &[3, 8, 6]);
+        assert!(got.allclose(&expect, 1e-6));
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Tensor::randn(&[13, 9], 24); // logical a^T is [9, 13]
+        let b = Tensor::randn(&[13, 7], 25);
+        let expect = matmul(&a.transpose().unwrap(), &b).unwrap();
+        let got = matmul_at(&a, &b).unwrap();
+        assert_eq!(got.dims(), &[9, 7]);
+        assert_eq!(got.data(), expect.data(), "at engine must agree bitwise");
+    }
+
+    #[test]
+    fn matmul_at_batched() {
+        let a = Tensor::randn(&[4, 11, 3], 26);
+        let b = Tensor::randn(&[4, 11, 5], 27);
+        let got = matmul_at(&a, &b).unwrap();
+        assert_eq!(got.dims(), &[4, 3, 5]);
+        for i in 0..4 {
+            let a_i = Tensor::from_vec(a.data()[i * 33..(i + 1) * 33].to_vec(), &[11, 3]).unwrap();
+            let b_i = Tensor::from_vec(b.data()[i * 55..(i + 1) * 55].to_vec(), &[11, 5]).unwrap();
+            let e_i = matmul(&a_i.transpose().unwrap(), &b_i).unwrap();
+            let g_i = Tensor::from_vec(got.data()[i * 15..(i + 1) * 15].to_vec(), &[3, 5]).unwrap();
+            assert!(g_i.allclose(&e_i, 1e-5));
+        }
+    }
+
+    #[test]
+    fn transposed_variants_reject_vectors() {
+        let v = Tensor::zeros(&[4]);
+        let m = Tensor::zeros(&[4, 4]);
+        assert!(matmul_bt(&v, &m).is_err());
+        assert!(matmul_at(&m, &v).is_err());
     }
 
     #[test]

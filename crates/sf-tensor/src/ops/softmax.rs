@@ -1,7 +1,11 @@
 //! Softmax over the last axis: the standard three-pass kernel and the
 //! *online* (streaming) single-pass variant used inside the fused
 //! FlashAttention-style kernel.
+//!
+//! The row loop runs on the parallel CPU backend ([`crate::pool`]); rows
+//! are independent, so output is bit-identical for every thread count.
 
+use crate::pool::{parallel_for, SendPtr};
 use crate::{Result, Tensor, TensorError};
 
 /// Numerically-stable softmax over the last axis.
@@ -10,6 +14,19 @@ use crate::{Result, Tensor, TensorError};
 ///
 /// Returns an error for rank-0 tensors or a zero-size last axis.
 pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    let mut out = x.clone();
+    softmax_inplace(&mut out)?;
+    Ok(out)
+}
+
+/// In-place variant of [`softmax`], for callers that already own a logits
+/// buffer they no longer need (e.g. the attention backward pass, which
+/// turns logits into probabilities without a second allocation).
+///
+/// # Errors
+///
+/// Returns an error for rank-0 tensors or a zero-size last axis.
+pub fn softmax_inplace(x: &mut Tensor) -> Result<()> {
     let rank = x.rank();
     if rank == 0 {
         return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
@@ -18,11 +35,17 @@ pub fn softmax(x: &Tensor) -> Result<Tensor> {
     if inner == 0 {
         return Err(TensorError::EmptyInput("softmax"));
     }
-    let mut out = x.clone();
-    for row in out.data_mut().chunks_mut(inner) {
-        softmax_row(row);
-    }
-    Ok(out)
+    let rows = x.len() / inner;
+    let ptr = SendPtr::new(x.data_mut());
+    // ~6 scalar ops per element: max scan, exp+sum, scale.
+    parallel_for(rows, inner * 6, |range| {
+        for r in range {
+            // SAFETY: row ranges from parallel_for are disjoint.
+            let row = unsafe { ptr.slice_mut(r * inner, inner) };
+            softmax_row(row);
+        }
+    });
+    Ok(())
 }
 
 /// Softmax with an additive mask: entries where `mask == 0` receive a large
@@ -93,15 +116,21 @@ impl OnlineSoftmax {
         if new_max == f32::NEG_INFINITY {
             return;
         }
-        let scale = if self.max == f32::NEG_INFINITY {
-            0.0
-        } else {
-            (self.max - new_max).exp()
-        };
-        for a in acc.iter_mut() {
-            *a *= scale;
+        // Rescale only when the running max actually moved: when it is
+        // unchanged the scale is exp(0) = 1.0 and multiplying by it is an
+        // exact bitwise no-op, so skipping it preserves bit-identity while
+        // saving an exp and a pass over `acc` on most tiles.
+        if self.max != new_max {
+            let scale = if self.max == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.max - new_max).exp()
+            };
+            for a in acc.iter_mut() {
+                *a *= scale;
+            }
+            self.denom *= scale;
         }
-        self.denom *= scale;
         for (j, &l) in logits.iter().enumerate() {
             let w = (l - new_max).exp();
             self.denom += w;

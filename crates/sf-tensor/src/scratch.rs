@@ -1,0 +1,103 @@
+//! Thread-local reusable scratch buffers for kernel temporaries.
+//!
+//! The hot kernels need short-lived `f32` workspaces — packed GEMM panels,
+//! attention logit blocks, backward-pass intermediates. Allocating a fresh
+//! `Vec` per call costs an allocator round-trip per op *per thread*; this
+//! module keeps a small per-thread stack of retired buffers and hands them
+//! back out, so steady-state training performs no scratch allocations.
+//!
+//! Buffers are **not** cleared between uses: [`with_scratch`] hands the
+//! closure a slice with arbitrary stale contents, which every current caller
+//! fully overwrites before reading. Use [`with_zeroed_scratch`] when the
+//! kernel accumulates into the buffer.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Retired buffers kept per thread. More than this simply get freed.
+const MAX_RETIRED: usize = 8;
+
+fn take(len: usize) -> Vec<f32> {
+    FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        // Prefer the smallest retired buffer that already fits.
+        let mut best: Option<usize> = None;
+        for (i, buf) in free.iter().enumerate() {
+            if buf.capacity() >= len && best.is_none_or(|b| buf.capacity() < free[b].capacity()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => free.swap_remove(i),
+            None => Vec::with_capacity(len),
+        }
+    })
+}
+
+fn recycle(buf: Vec<f32>) {
+    FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        if free.len() < MAX_RETIRED {
+            free.push(buf);
+        }
+    })
+}
+
+/// Runs `f` with a scratch slice of length `len` whose contents are
+/// arbitrary (possibly stale from a previous use). The buffer returns to
+/// this thread's free list afterwards.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = take(len);
+    // `resize` only writes the gap beyond the current length; reused
+    // buffers of sufficient length skip the fill entirely.
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let out = f(&mut buf[..len]);
+    recycle(buf);
+    out
+}
+
+/// Like [`with_scratch`] but the slice is zero-filled.
+pub fn with_zeroed_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    with_scratch(len, |buf| {
+        buf.fill(0.0);
+        f(buf)
+    })
+}
+
+/// Two independent scratch slices (e.g. packed panel + logits block).
+pub fn with_scratch2<R>(l1: usize, l2: usize, f: impl FnOnce(&mut [f32], &mut [f32]) -> R) -> R {
+    with_scratch(l1, |a| with_scratch(l2, |b| f(a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_reused() {
+        let ptr1 = with_scratch(1024, |buf| buf.as_ptr() as usize);
+        let ptr2 = with_scratch(512, |buf| buf.as_ptr() as usize);
+        // The second, smaller request must reuse the first allocation.
+        assert_eq!(ptr1, ptr2);
+    }
+
+    #[test]
+    fn zeroed_scratch_really_is_zero() {
+        with_scratch(64, |buf| buf.fill(7.0));
+        with_zeroed_scratch(64, |buf| assert!(buf.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn nested_scratch_gets_distinct_buffers() {
+        with_scratch2(128, 128, |a, b| {
+            a.fill(1.0);
+            b.fill(2.0);
+            assert!(a.iter().all(|&v| v == 1.0));
+        });
+    }
+}

@@ -835,6 +835,28 @@ impl Tensor {
         crate::ops::matmul::matmul(self, other)
     }
 
+    /// `self @ other^T` without materializing the transpose.
+    ///
+    /// See [`crate::ops::matmul::matmul_bt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on contraction-dimension or batch mismatch.
+    pub fn matmul_bt(&self, other: &Tensor) -> Result<Self> {
+        crate::ops::matmul::matmul_bt(self, other)
+    }
+
+    /// `self^T @ other` without materializing the transpose.
+    ///
+    /// See [`crate::ops::matmul::matmul_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on contraction-dimension or batch mismatch.
+    pub fn matmul_at(&self, other: &Tensor) -> Result<Self> {
+        crate::ops::matmul::matmul_at(self, other)
+    }
+
     // ------------------------------------------------------------------
     // Comparison helpers
     // ------------------------------------------------------------------

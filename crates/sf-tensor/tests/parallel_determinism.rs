@@ -1,0 +1,180 @@
+//! Bit-identity of the parallel CPU backend: every kernel routed through
+//! `sf_tensor::pool` must produce *byte-for-byte* the same output at any
+//! thread count. The partitioning only splits independent output regions
+//! and never changes any per-element accumulation order, so `data()` must
+//! match exactly — `allclose` would hide a reduction-order regression.
+//!
+//! The tests deliberately mutate the global thread count while other tests
+//! in this binary run concurrently; that is safe *because* of the property
+//! under test (results do not depend on the momentary thread count).
+
+use proptest::prelude::*;
+use sf_tensor::ops::{attention, layernorm, softmax};
+use sf_tensor::pool;
+use sf_tensor::Tensor;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` once per thread count and asserts all results are bit-identical,
+/// returning the first. Restores the previous thread count afterwards.
+fn identical_across_threads<F: Fn() -> Tensor>(f: F) -> Tensor {
+    let prev = pool::num_threads();
+    let reference = {
+        pool::set_num_threads(THREAD_COUNTS[0]);
+        f()
+    };
+    for &n in &THREAD_COUNTS[1..] {
+        pool::set_num_threads(n);
+        let out = f();
+        assert_eq!(
+            reference.data(),
+            out.data(),
+            "output at {n} threads diverged from 1-thread run"
+        );
+    }
+    pool::set_num_threads(prev);
+    reference
+}
+
+// --- Fixed large shapes: big enough to clear the serial-bypass threshold
+// --- so the pool genuinely partitions the work.
+
+#[test]
+fn large_matmul_is_bit_identical() {
+    let a = Tensor::randn(&[4, 96, 64], 1);
+    let b = Tensor::randn(&[4, 64, 96], 2);
+    identical_across_threads(|| a.matmul(&b).unwrap());
+}
+
+#[test]
+fn large_matmul_bt_and_at_are_bit_identical() {
+    let a = Tensor::randn(&[4, 96, 64], 3);
+    let b = Tensor::randn(&[4, 96, 64], 4);
+    identical_across_threads(|| a.matmul_bt(&b).unwrap());
+    // matmul_at computes a^T @ c, so c shares a's row count (96).
+    let c = Tensor::randn(&[4, 96, 48], 5);
+    identical_across_threads(|| a.matmul_at(&c).unwrap());
+}
+
+#[test]
+fn large_layernorm_forward_and_backward_are_bit_identical() {
+    let x = Tensor::randn(&[2048, 64], 6);
+    let gamma = Tensor::randn(&[64], 7).add_scalar(1.0);
+    let beta = Tensor::randn(&[64], 8);
+    let dy = Tensor::randn(&[2048, 64], 9);
+
+    let y = identical_across_threads(|| {
+        layernorm::fused_forward(&x, &gamma, &beta, layernorm::LN_EPS)
+            .unwrap()
+            .0
+    });
+    // Backward returns three tensors; check each through its own closure.
+    let (_, stats) = layernorm::fused_forward(&x, &gamma, &beta, layernorm::LN_EPS).unwrap();
+    for idx in 0..3 {
+        identical_across_threads(|| {
+            let (dx, dg, db) = layernorm::fused_backward(&dy, &x, &gamma, &stats, 64).unwrap();
+            [dx, dg, db][idx].clone()
+        });
+    }
+    assert_eq!(y.dims(), x.dims());
+}
+
+#[test]
+fn large_softmax_is_bit_identical() {
+    let x = Tensor::randn(&[64, 64, 64], 10);
+    identical_across_threads(|| softmax::softmax(&x).unwrap());
+}
+
+#[test]
+fn large_attention_is_bit_identical() {
+    let q = Tensor::randn(&[4, 4, 64, 16], 11);
+    let k = Tensor::randn(&[4, 4, 64, 16], 12);
+    let v = Tensor::randn(&[4, 4, 64, 16], 13);
+    let bias = Tensor::randn(&[4, 64, 64], 14);
+    let scale = 0.25;
+    identical_across_threads(|| {
+        attention::flash_attention(&q, &k, &v, Some(&bias), scale).unwrap()
+    });
+    identical_across_threads(|| attention::flash_attention(&q, &k, &v, None, scale).unwrap());
+}
+
+// --- Random shapes: the same property over the full shape space,
+// --- including the serial-bypass path, batch broadcast, and 1-D promotion.
+
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bit_identical_any_shape(
+        (b, m, k, n, seed) in (1usize..4, dim(), dim(), dim(), any::<u64>())
+    ) {
+        let a = Tensor::randn(&[b, m, k], seed);
+        let bt = Tensor::randn(&[b, k, n], seed ^ 1);
+        identical_across_threads(|| a.matmul(&bt).unwrap());
+    }
+
+    #[test]
+    fn matmul_broadcast_rhs_bit_identical(
+        (b, m, k, n, seed) in (2usize..5, dim(), dim(), dim(), any::<u64>())
+    ) {
+        // Batched LHS against an unbatched RHS: the broadcast path.
+        let a = Tensor::randn(&[b, m, k], seed);
+        let w = Tensor::randn(&[k, n], seed ^ 2);
+        identical_across_threads(|| a.matmul(&w).unwrap());
+    }
+
+    #[test]
+    fn matmul_1d_promotion_bit_identical(
+        (k, n, seed) in (dim(), dim(), any::<u64>())
+    ) {
+        // Vector @ matrix and matrix @ vector both promote to 2-D inside.
+        let vk = Tensor::randn(&[k], seed);
+        let w = Tensor::randn(&[k, n], seed ^ 3);
+        identical_across_threads(|| vk.matmul(&w).unwrap());
+        let vn = Tensor::randn(&[n], seed ^ 4);
+        identical_across_threads(|| w.matmul(&vn).unwrap());
+    }
+
+    #[test]
+    fn layernorm_bit_identical_any_shape(
+        (rows, inner, seed) in (1usize..32, 2usize..48, any::<u64>())
+    ) {
+        let x = Tensor::randn(&[rows, inner], seed).mul_scalar(2.0);
+        let gamma = Tensor::randn(&[inner], seed ^ 5).add_scalar(1.0);
+        let beta = Tensor::randn(&[inner], seed ^ 6);
+        identical_across_threads(|| {
+            layernorm::fused_forward(&x, &gamma, &beta, layernorm::LN_EPS).unwrap().0
+        });
+    }
+
+    #[test]
+    fn softmax_bit_identical_any_shape(
+        (rows, inner, seed) in (1usize..32, 1usize..48, any::<u64>())
+    ) {
+        let x = Tensor::randn(&[rows, inner], seed);
+        identical_across_threads(|| softmax::softmax(&x).unwrap());
+    }
+
+    #[test]
+    fn attention_bit_identical_any_shape(
+        (b, h, s, d, seed, with_bias) in
+            (1usize..3, 1usize..3, 1usize..24, 1usize..10, any::<u64>(), any::<bool>())
+    ) {
+        let q = Tensor::randn(&[b, h, s, d], seed);
+        let k = Tensor::randn(&[b, h, s, d], seed ^ 7);
+        let v = Tensor::randn(&[b, h, s, d], seed ^ 8);
+        let bias = Tensor::randn(&[h, s, s], seed ^ 9);
+        let scale = 1.0 / (d as f32).sqrt();
+        let bias_ref = if with_bias { Some(&bias) } else { None };
+        let out = identical_across_threads(|| {
+            attention::flash_attention(&q, &k, &v, bias_ref, scale).unwrap()
+        });
+        // And the parallel kernel still agrees with the naive reference.
+        let naive = attention::naive_attention(&q, &k, &v, bias_ref, scale).unwrap();
+        prop_assert!(out.allclose(&naive, 1e-3));
+    }
+}
