@@ -9,26 +9,42 @@
 //! scalefold faults [STEPS]           fault-injection drill on real training
 //! scalefold tradeoff [STEPS]         checkpoint-interval x failure-rate grid
 //! scalefold bench-kernels            CPU kernel baseline -> BENCH_kernels.json
+//! scalefold trace-report [PATH]      phase table from a trace (no PATH: A/B drill)
 //! ```
 //!
 //! The global `--threads N` flag (anywhere on the command line) pins the
 //! `sf-tensor` parallel CPU backend to `N` compute threads; without it the
 //! backend honors `SF_THREADS`, then the machine's core count.
 //!
+//! The global `--trace PATH` flag enables the `sf-trace` runtime tracer
+//! for whatever command runs and writes a Chrome `trace_event` JSON file
+//! (loadable in `chrome://tracing` / Perfetto) on exit.
+//!
 //! All I/O failures propagate to a nonzero exit code instead of panicking.
 
 use scalefold::kernel_bench::{self, BenchScale};
-use scalefold::{experiments, ladder_stages, OptimizationSet, Trainer, TrainerConfig};
+use scalefold::{experiments, ladder_stages, LoaderKind, OptimizationSet, Trainer, TrainerConfig};
 use sf_cluster::{ClusterConfig, ClusterSim, FailureModel, StragglerModel};
 use sf_faults::{corrupt, FaultPlan};
 use sf_model::ModelConfig;
 use sf_opgraph::memory;
+use sf_trace::report::PhaseReport;
+use sf_trace::Trace;
 use std::error::Error;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args = match extract_threads_flag(std::env::args().skip(1).collect()) {
         Ok(rest) => rest,
+        Err(e) => {
+            eprintln!("scalefold: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (args, trace_path) = match extract_trace_flag(args) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("scalefold: error: {e}");
             return ExitCode::FAILURE;
@@ -44,6 +60,7 @@ fn main() -> ExitCode {
         "faults" => parse_num(&args, 1, 6).and_then(fault_drill),
         "tradeoff" => parse_num(&args, 1, 2000).and_then(tradeoff),
         "bench-kernels" => bench_kernels(),
+        "trace-report" => trace_report(args.get(1).map(String::as_str)),
         "help" | "--help" | "-h" => help(),
         other => {
             let _ = help();
@@ -51,6 +68,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let result = result.and_then(|()| match &trace_path {
+        Some(path) => write_trace(path),
+        None => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -89,6 +110,53 @@ fn extract_threads_flag(args: Vec<String>) -> Result<Vec<String>, Box<dyn Error>
     Ok(rest)
 }
 
+/// Strips the global `--trace PATH` / `--trace=PATH` flag from `args`. A
+/// trace path enables the `sf-trace` runtime tracer immediately and is
+/// validated for writability up front, so a typo fails before — not after —
+/// a long run.
+fn extract_trace_flag(args: Vec<String>) -> Result<(Vec<String>, Option<PathBuf>), Box<dyn Error>> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--trace" {
+            Some(it.next().ok_or("--trace expects an output path")?)
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            Some(v.to_string())
+        } else {
+            rest.push(a);
+            None
+        };
+        if let Some(v) = value {
+            std::fs::File::create(&v)
+                .map_err(|e| format!("cannot write trace file '{v}': {e}"))?;
+            sf_trace::enable();
+            path = Some(PathBuf::from(v));
+        }
+    }
+    Ok((rest, path))
+}
+
+/// Drains the global trace collector into `path` as Chrome `trace_event`
+/// JSON and prints a one-line summary of what was captured.
+fn write_trace(path: &Path) -> CliResult {
+    let trace = sf_trace::take();
+    if trace.dropped > 0 {
+        eprintln!(
+            "scalefold: warning: {} trace event(s) dropped (ring buffers full)",
+            trace.dropped
+        );
+    }
+    let events = trace.events.len();
+    std::fs::write(path, trace.to_chrome_json())
+        .map_err(|e| format!("cannot write trace file '{}': {e}", path.display()))?;
+    println!(
+        "wrote {events} trace event(s) to {} (load in chrome://tracing or ui.perfetto.dev)",
+        path.display()
+    );
+    Ok(())
+}
+
 fn parse_num(args: &[String], idx: usize, default: u64) -> Result<u64, Box<dyn Error>> {
     match args.get(idx) {
         None => Ok(default),
@@ -113,10 +181,100 @@ fn help() -> CliResult {
     println!("                      and failure rate (default 2000 steps)");
     println!("  bench-kernels       time the CPU kernels (seed vs serial vs");
     println!("                      parallel) and write BENCH_kernels.json");
+    println!("  trace-report [PATH] phase-breakdown table of a trace file;");
+    println!("                      without PATH, run the blocking-vs-non-");
+    println!("                      blocking loader data-wait drill");
     println!("\nglobal flags:");
     println!("  --threads N         pin the compute backend to N threads");
     println!("                      (default: SF_THREADS, then core count)");
+    println!("  --trace PATH        record a runtime trace of the command and");
+    println!("                      write Chrome trace_event JSON to PATH");
     Ok(())
+}
+
+/// `trace-report PATH`: load a Chrome-format trace (real or simulated) and
+/// print its per-step phase table. `trace-report` with no path runs the
+/// paper's data-wait A/B on the real trainer instead: the same straggler
+/// sample through the blocking and the non-blocking loader.
+fn trace_report(path: Option<&str>) -> CliResult {
+    match path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read trace file '{p}': {e}"))?;
+            let trace = Trace::from_chrome_json(&text).map_err(|e| format!("'{p}': {e}"))?;
+            let report = PhaseReport::from_trace(&trace);
+            if report.steps.is_empty() {
+                println!(
+                    "{} event(s), no training steps recorded (nothing to break down)",
+                    trace.events.len()
+                );
+            } else {
+                println!("{}", report.to_table());
+            }
+            Ok(())
+        }
+        None => loader_drill(),
+    }
+}
+
+/// The data-wait A/B (paper §3.2 / Figure 5, measured on the real CPU
+/// trainer): inject one straggler sample, train twice — once through the
+/// strict-order blocking loader, once through the non-blocking pipeline —
+/// and compare the `data_wait` share of step time from the traces.
+fn loader_drill() -> CliResult {
+    const STEPS: u64 = 6;
+    const SLOW_SAMPLE: usize = 1;
+    let delay = Duration::from_millis(150);
+    println!("data-wait drill: {STEPS} steps, sample #{SLOW_SAMPLE} takes an extra {delay:?}\n");
+    let mut shares = Vec::new();
+    for (label, kind) in [
+        ("blocking loader (strict sampler order)", LoaderKind::Blocking),
+        ("non-blocking pipeline (ScaleFold)", LoaderKind::NonBlocking),
+    ] {
+        let was_enabled = sf_trace::is_enabled();
+        sf_trace::reset();
+        sf_trace::enable();
+        let mut cfg = TrainerConfig::tiny();
+        cfg.model.evoformer_blocks = 1;
+        cfg.model.extra_msa_blocks = 0;
+        cfg.dataset_len = 8;
+        cfg.loader = kind;
+        let plan = FaultPlan::none().with_slow_sample(SLOW_SAMPLE, delay);
+        let mut trainer = Trainer::with_faults(cfg, plan);
+        let reports = trainer.train(STEPS);
+        let trace = sf_trace::take();
+        if !was_enabled {
+            sf_trace::disable();
+        }
+        let report = PhaseReport::from_trace(&trace);
+        println!("=== {label} ===");
+        println!("{}", report.to_table());
+        println!(
+            "steps run: {}   data-wait share: {:.2}%\n",
+            reports.len(),
+            report.data_wait_share() * 100.0
+        );
+        shares.push((label, report.data_wait_share()));
+    }
+    let blocking = shares[0].1;
+    let nonblocking = shares[1].1;
+    println!(
+        "summary: blocking {:.2}% vs non-blocking {:.2}% of step time spent waiting for data",
+        blocking * 100.0,
+        nonblocking * 100.0
+    );
+    if nonblocking < 0.02 && blocking > nonblocking {
+        println!("the non-blocking pipeline drives data wait toward zero.");
+        Ok(())
+    } else {
+        Err(format!(
+            "drill expectation failed: non-blocking data-wait share {:.2}% \
+             (want < 2% and below the blocking loader's {:.2}%)",
+            nonblocking * 100.0,
+            blocking * 100.0
+        )
+        .into())
+    }
 }
 
 fn bench_kernels() -> CliResult {
@@ -135,6 +293,10 @@ fn train(steps: u64) -> CliResult {
     let mut cfg = TrainerConfig::tiny();
     cfg.model.evoformer_blocks = 1;
     cfg.model.extra_msa_blocks = 0;
+    // Larger proteins than the test-scale default: big enough that the
+    // pair-stack GEMMs cross the compute backend's dispatch threshold, so a
+    // traced run (`--trace`) records the parallel regions too.
+    cfg.model.n_res = 32;
     println!("training the tiny AlphaFold for {steps} steps...");
     let mut trainer = Trainer::new(cfg);
     for r in trainer.train(steps) {

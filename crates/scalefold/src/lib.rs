@@ -58,4 +58,4 @@ pub use convergence::{ConvergenceModel, FinetuneExtension, PretrainSchedule};
 pub use ladder::{ladder_stages, LadderEntry};
 pub use optimizations::{build_graph, OptimizationSet};
 pub use distributed::DataParallelTrainer;
-pub use trainer::{RecoveryEvent, ResumeSummary, StepReport, Trainer, TrainerConfig};
+pub use trainer::{LoaderKind, RecoveryEvent, ResumeSummary, StepReport, Trainer, TrainerConfig};

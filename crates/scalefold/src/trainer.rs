@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sf_autograd::{CheckpointError, Graph, ParamStore};
 use sf_data::featurize::featurize;
-use sf_data::loader::{Dataset, LoaderConfig, LoaderError, NonBlockingPipeline};
+use sf_data::loader::{BlockingLoader, Dataset, LoaderConfig, LoaderError, NonBlockingPipeline};
 use sf_data::SyntheticDataset;
 use sf_faults::{FaultInjector, FaultPlan, FaultyDataset};
 use sf_model::loss::LossBreakdown;
@@ -26,6 +26,22 @@ use sf_tensor::bf16::Precision;
 use sf_tensor::Tensor;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Which data pipeline feeds [`Trainer::train`].
+///
+/// [`LoaderKind::NonBlocking`] is the paper's pipeline (and the default);
+/// [`LoaderKind::Blocking`] reproduces PyTorch `DataLoader` semantics and
+/// exists so the data-wait claim is measurable as an A/B: under a straggler
+/// sample, the blocking loader's trace shows a large `data_wait` share
+/// while the non-blocking trace stays near zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoaderKind {
+    /// ScaleFold §3.2: deliver the lowest-index *ready* batch immediately.
+    #[default]
+    NonBlocking,
+    /// Strict sampler order: a slow batch stalls the consumer.
+    Blocking,
+}
 
 /// Trainer configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +62,9 @@ pub struct TrainerConfig {
     pub dataset_len: usize,
     /// Data-loader worker threads.
     pub loader_workers: usize,
+    /// Which pipeline delivers batches (non-blocking unless A/B-testing
+    /// the loaders).
+    pub loader: LoaderKind,
     /// Compute threads for the `sf-tensor` parallel CPU backend
     /// (0 = auto: honor `SF_THREADS`, else the machine's core count).
     pub num_threads: usize,
@@ -73,6 +92,7 @@ impl TrainerConfig {
             precision: Precision::F32,
             dataset_len: 16,
             loader_workers: 2,
+            loader: LoaderKind::NonBlocking,
             num_threads: 0,
             seed: 7,
         }
@@ -264,19 +284,25 @@ impl Trainer {
     /// indicate programming errors rather than recoverable conditions.
     pub fn train_step(&mut self, batch: &FeatureBatch) -> StepReport {
         let mut g = Graph::new();
-        let out = self
-            .model
-            .forward(&mut g, &mut self.store, batch)
-            .expect("forward pass on validated batch");
-        g.backward(out.loss).expect("scalar loss");
-        let mut grads = g.grads_by_name().expect("consistent bindings");
-        // Precision rounding of gradients (bf16 path of §3.4; fp16 shows
-        // the NaN failure mode at larger scales).
-        if self.cfg.precision != Precision::F32 {
-            for grad in grads.values_mut() {
-                *grad = self.cfg.precision.quantize(grad);
+        let out = {
+            let _fwd = sf_trace::span("forward", "forward");
+            self.model
+                .forward(&mut g, &mut self.store, batch)
+                .expect("forward pass on validated batch")
+        };
+        let mut grads = {
+            let _bwd = sf_trace::span("backward", "backward");
+            g.backward(out.loss).expect("scalar loss");
+            let mut grads = g.grads_by_name().expect("consistent bindings");
+            // Precision rounding of gradients (bf16 path of §3.4; fp16
+            // shows the NaN failure mode at larger scales).
+            if self.cfg.precision != Precision::F32 {
+                for grad in grads.values_mut() {
+                    *grad = self.cfg.precision.quantize(grad);
+                }
             }
-        }
+            grads
+        };
         if self.injector.poison_grads_at(self.step) {
             if let Some(grad) = grads.values_mut().next() {
                 let mut data = grad.data().to_vec();
@@ -290,6 +316,7 @@ impl Trainer {
         // mode at scale) skips the optimizer update instead of destroying
         // the weights. The step still counts so schedules stay aligned
         // across data-parallel replicas.
+        let _opt = sf_trace::span("optimizer", "optimizer");
         let finite =
             out.loss_breakdown.total.is_finite() && grads.values().all(|t| t.data().iter().all(|v| v.is_finite()));
         let lr = self.cfg.schedule.lr_at(self.step);
@@ -303,7 +330,11 @@ impl Trainer {
             });
             f32::NAN
         };
-        let lddt = lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask);
+        drop(_opt);
+        let lddt = {
+            let _metric = sf_trace::span("eval", "lddt");
+            lddt_ca(g.value(out.coords), &batch.true_coords, &batch.residue_mask)
+        };
         let LossBreakdown { total, distance, .. } = out.loss_breakdown;
         self.step += 1;
         StepReport {
@@ -337,13 +368,28 @@ impl Trainer {
             let epoch = self.rng.gen::<u64>();
             let order = SyntheticDataset::new(self.cfg.seed ^ 0xDA7A, self.cfg.dataset_len)
                 .epoch_order(epoch);
-            let loader = NonBlockingPipeline::new(
-                Arc::clone(&dataset),
-                order,
-                LoaderConfig::with_workers(self.cfg.loader_workers),
-            );
+            let loader_cfg = LoaderConfig::with_workers(self.cfg.loader_workers);
+            type BatchItem = Result<(usize, FeatureBatch), LoaderError>;
+            let mut loader: Box<dyn Iterator<Item = BatchItem>> = match self.cfg.loader {
+                LoaderKind::NonBlocking => Box::new(NonBlockingPipeline::new(
+                    Arc::clone(&dataset),
+                    order,
+                    loader_cfg,
+                )),
+                LoaderKind::Blocking => {
+                    Box::new(BlockingLoader::new(Arc::clone(&dataset), order, loader_cfg))
+                }
+            };
             let mut epoch_steps = 0u64;
-            for item in loader {
+            loop {
+                // One umbrella span per optimizer step, covering the data
+                // wait (recorded by the loader inside `next()`) and the
+                // train phases — the unit the phase report attributes.
+                let step_span = sf_trace::span("step", "step").arg("step", (self.step + 1) as f64);
+                let Some(item) = loader.next() else {
+                    step_span.cancel(); // end-of-epoch probe, not a step
+                    break;
+                };
                 match item {
                     Ok((_, batch)) => {
                         reports.push(self.train_step(&batch));
@@ -353,6 +399,7 @@ impl Trainer {
                         }
                     }
                     Err(error) => {
+                        step_span.cancel(); // no optimizer step happened
                         self.recovery.push(RecoveryEvent::DataFault { error });
                     }
                 }
@@ -377,6 +424,7 @@ impl Trainer {
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), sf_autograd::CheckpointError> {
+        let _ckpt = sf_trace::span("checkpoint", "save");
         self.store.save_file(path)
     }
 
@@ -406,6 +454,7 @@ impl Trainer {
     ///
     /// Returns a [`CheckpointError`] on I/O failure.
     pub fn save_checkpoint_step(&self, dir: impl AsRef<Path>) -> Result<PathBuf, CheckpointError> {
+        let _ckpt = sf_trace::span("checkpoint", "save_step").arg("step", self.step as f64);
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
         let path = dir.join(format!("ckpt-{:08}.sfck", self.step));
@@ -429,6 +478,7 @@ impl Trainer {
         &mut self,
         dir: impl AsRef<Path>,
     ) -> Result<Option<ResumeSummary>, CheckpointError> {
+        let _ckpt = sf_trace::span("checkpoint", "resume");
         let Some(latest) = ParamStore::load_latest_valid(dir)? else {
             return Ok(None);
         };
@@ -462,6 +512,7 @@ impl Trainer {
     /// Identical scores to [`Trainer::evaluate`] on the same sample count —
     /// only the per-pass featurization cost disappears.
     pub fn evaluate_cached(&self, cache: &[FeatureBatch]) -> f32 {
+        let _eval = sf_trace::span("eval", "evaluate_cached").arg("samples", cache.len() as f64);
         let mut store = self.optimizer.swa_store();
         if store.is_empty() {
             store = self.store.clone();
@@ -490,6 +541,7 @@ impl Trainer {
         let model_cfg = self.cfg.model.clone();
         let seed = self.cfg.seed;
         std::thread::spawn(move || {
+            let _eval = sf_trace::span("eval", "evaluate_async").arg("samples", n as f64);
             let model = AlphaFold::new(model_cfg.clone());
             let eval_set = SyntheticDataset::new(seed ^ 0xE7A1, n.max(1));
             let mut total = 0.0f32;
@@ -508,6 +560,7 @@ impl Trainer {
     /// Evaluates mean lDDT-Cα over `n` held-out samples using the
     /// SWA-averaged weights (as the MLPerf recipe evaluates).
     pub fn evaluate(&self, n: usize) -> f32 {
+        let _eval = sf_trace::span("eval", "evaluate").arg("samples", n as f64);
         let mut store = self.optimizer.swa_store();
         if store.is_empty() {
             store = self.store.clone();

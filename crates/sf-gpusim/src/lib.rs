@@ -28,9 +28,11 @@ pub mod device;
 pub mod graph;
 pub mod kernel;
 pub mod stream;
+pub mod trace;
 
 pub use autotune::{autotune, KernelTemplate, TileConfig};
 pub use device::DeviceSpec;
 pub use graph::{CudaGraph, GraphCache};
 pub use kernel::{Kernel, KernelClass};
 pub use stream::{CpuModel, Stream, StreamStats};
+pub use trace::{trace_eager, trace_graph, SIM_PID, TID_CPU, TID_GPU};

@@ -78,6 +78,11 @@ impl Stream {
         &self.device
     }
 
+    /// The host condition.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
     /// Executes kernels in **eager mode**: each kernel costs a CPU launch;
     /// the GPU starts a kernel only after both (a) the previous kernel
     /// finished and (b) its launch was issued.

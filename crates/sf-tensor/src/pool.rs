@@ -126,12 +126,29 @@ type Job = Arc<JobInner>;
 
 /// Claims and runs chunks until the counter is exhausted. Runs on workers
 /// and on the calling thread alike.
+///
+/// When tracing is on, each participant's whole claim streak is recorded
+/// retroactively as one `pool`/`tasks` span (per-chunk spans would drown
+/// the trace: a single GEMM dispatches dozens of chunks).
 fn run_chunks(pool: &PoolInner, job: &Job) {
+    let tracing = sf_trace::is_enabled();
+    let t_start = if tracing { sf_trace::now_us() } else { 0 };
+    let mut claimed = 0usize;
     loop {
         let c = job.next.fetch_add(1, Ordering::Relaxed);
         if c >= job.n_chunks {
+            if tracing && claimed > 0 {
+                sf_trace::complete_span(
+                    "pool",
+                    "tasks",
+                    t_start,
+                    sf_trace::now_us(),
+                    &[("chunks", claimed as f64)],
+                );
+            }
             return;
         }
+        claimed += 1;
         let start = c * job.chunk;
         let end = (start + job.chunk).min(job.n_items);
         // SAFETY: see `JobInner::body`.
@@ -256,7 +273,18 @@ where
         return;
     }
     let threads = num_threads();
-    if threads <= 1 || n_items.saturating_mul(cost_per_item.max(1)) < SERIAL_THRESHOLD {
+    if n_items.saturating_mul(cost_per_item.max(1)) < SERIAL_THRESHOLD {
+        body(0..n_items);
+        return;
+    }
+    if threads <= 1 {
+        // The loop is big enough to dispatch but the pool is one thread
+        // wide: run inline, yet still record the region so traces taken at
+        // different `--threads` settings show the same parallel regions
+        // (with `threads` telling them apart).
+        let _region_span = sf_trace::span("pool", "parallel_for")
+            .arg("items", n_items as f64)
+            .arg("threads", 1.0);
         body(0..n_items);
         return;
     }
@@ -267,6 +295,12 @@ where
         body(0..n_items);
         return;
     };
+    // Region span: covers publish + participation + completion wait. Only
+    // above-threshold loops are recorded; small inline loops stay span-free
+    // (and overhead-free).
+    let _region_span = sf_trace::span("pool", "parallel_for")
+        .arg("items", n_items as f64)
+        .arg("threads", threads as f64);
     let pool = current_pool(threads);
 
     let target_chunks = (threads * CHUNKS_PER_THREAD).min(n_items).max(1);
@@ -431,6 +465,47 @@ mod tests {
         assert_eq!(num_threads(), 1);
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
+    }
+
+    #[test]
+    fn dispatched_regions_emit_pool_spans() {
+        let _g = test_lock();
+        set_num_threads(4);
+        sf_trace::reset();
+        sf_trace::enable();
+        parallel_for(1 << 10, 1 << 10, |range| {
+            // Touch the range so the loop is not optimized away.
+            std::hint::black_box(range.len());
+        });
+        sf_trace::disable();
+        let trace = sf_trace::take();
+        // Other tests may run concurrently and emit their own pool spans;
+        // key on this region's unique item count.
+        let region = trace
+            .spans("pool")
+            .find(|e| e.name == "parallel_for" && e.arg("items") == Some(1024.0))
+            .expect("dispatched region must be traced");
+        assert_eq!(region.arg("threads"), Some(4.0));
+        let tasks: Vec<_> = trace.spans("pool").filter(|e| e.name == "tasks").collect();
+        assert!(!tasks.is_empty(), "at least one participant claims chunks");
+        let total_chunks: f64 = tasks.iter().filter_map(|e| e.arg("chunks")).sum();
+        assert!(total_chunks >= 1.0);
+    }
+
+    #[test]
+    fn inline_loops_emit_no_spans() {
+        let _g = test_lock();
+        set_num_threads(4);
+        sf_trace::reset();
+        sf_trace::enable();
+        parallel_for(9, 1, |_| {}); // below SERIAL_THRESHOLD: runs inline
+        sf_trace::disable();
+        assert!(
+            !sf_trace::take()
+                .spans("pool")
+                .any(|e| e.name == "parallel_for" && e.arg("items") == Some(9.0)),
+            "inline loop must not be traced"
+        );
     }
 
     #[test]

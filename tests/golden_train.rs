@@ -1,0 +1,149 @@
+//! Golden end-to-end regression test: a fixed-seed tiny training run whose
+//! loss / lDDT-Cα trajectory is pinned to a committed fixture.
+//!
+//! The run is deterministic by construction: one loader worker (so the
+//! non-blocking pipeline delivers in sampler order), a fixed seed, and the
+//! sf-tensor kernels' thread-count-invariant reductions (every kernel
+//! splits work identically regardless of how many threads execute it).
+//! That last property is what lets ONE fixture pin the trajectory at both
+//! 1 and 4 compute threads — any data race or reduction-order change in the
+//! parallel backend shows up here as a trajectory mismatch.
+//!
+//! Regenerate the fixture after an *intentional* numeric change with:
+//!
+//! ```text
+//! SF_REGEN_GOLDEN=1 cargo test -q -p scalefold --test golden_train
+//! ```
+
+use scalefold::{Trainer, TrainerConfig};
+use sf_trace::json::{self, Value};
+use std::path::Path;
+
+const GOLDEN_STEPS: u64 = 8;
+/// Absolute slack on loss (values are O(10-60)) and lDDT (values in [0,1]).
+/// Kernels are bit-identical across thread counts, so the only drift this
+/// must absorb is the fixture's f32→decimal→f32 round trip — which is
+/// exact — plus headroom against libm differences across toolchains.
+const LOSS_TOL: f32 = 2e-3;
+const LDDT_TOL: f32 = 1e-4;
+
+fn fixture_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_train.json")
+}
+
+fn golden_config() -> TrainerConfig {
+    let mut cfg = TrainerConfig::tiny();
+    cfg.model.evoformer_blocks = 1;
+    cfg.model.extra_msa_blocks = 0;
+    // One worker makes the non-blocking pipeline deliver in sampler order
+    // (multi-worker delivery order is timing-dependent by design).
+    cfg.loader_workers = 1;
+    cfg
+}
+
+fn run_trajectory() -> Vec<(u64, f32, f32)> {
+    let mut trainer = Trainer::new(golden_config());
+    trainer
+        .train(GOLDEN_STEPS)
+        .into_iter()
+        .map(|r| (r.step, r.loss, r.lddt))
+        .collect()
+}
+
+fn trajectory_to_json(traj: &[(u64, f32, f32)]) -> String {
+    let steps: Vec<Value> = traj
+        .iter()
+        .map(|&(step, loss, lddt)| {
+            let mut o = std::collections::BTreeMap::new();
+            o.insert("step".to_string(), Value::Num(step as f64));
+            o.insert("loss".to_string(), Value::Num(loss as f64));
+            o.insert("lddt".to_string(), Value::Num(lddt as f64));
+            Value::Obj(o)
+        })
+        .collect();
+    let mut root = std::collections::BTreeMap::new();
+    root.insert(
+        "config".to_string(),
+        Value::Str("tiny model, 1 evoformer block, loader_workers=1, seed=7".to_string()),
+    );
+    root.insert("steps".to_string(), Value::Arr(steps));
+    let mut out = Value::Obj(root).to_json();
+    out.push('\n');
+    out
+}
+
+fn load_fixture() -> Vec<(u64, f32, f32)> {
+    let path = fixture_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden fixture {}: {e}", path.display()));
+    let root = json::parse(&text).expect("golden fixture must be valid JSON");
+    let steps = root
+        .get("steps")
+        .and_then(Value::as_arr)
+        .expect("fixture must have a 'steps' array");
+    steps
+        .iter()
+        .map(|s| {
+            let num = |k: &str| {
+                s.get(k)
+                    .and_then(Value::as_f64)
+                    .unwrap_or_else(|| panic!("fixture step missing numeric '{k}'"))
+            };
+            (num("step") as u64, num("loss") as f32, num("lddt") as f32)
+        })
+        .collect()
+}
+
+fn assert_matches_fixture(traj: &[(u64, f32, f32)], golden: &[(u64, f32, f32)], label: &str) {
+    assert_eq!(
+        traj.len(),
+        golden.len(),
+        "[{label}] trajectory length diverged from fixture"
+    );
+    for (got, want) in traj.iter().zip(golden) {
+        assert_eq!(got.0, want.0, "[{label}] step numbering diverged");
+        assert!(
+            (got.1 - want.1).abs() <= LOSS_TOL,
+            "[{label}] step {}: loss {} vs golden {} (tol {LOSS_TOL})",
+            got.0,
+            got.1,
+            want.1
+        );
+        assert!(
+            (got.2 - want.2).abs() <= LDDT_TOL,
+            "[{label}] step {}: lDDT {} vs golden {} (tol {LDDT_TOL})",
+            got.0,
+            got.2,
+            want.2
+        );
+    }
+}
+
+/// The golden run, at 1 and then 4 compute threads inside a single test —
+/// the global thread-count knob must not be raced by a concurrent test.
+#[test]
+fn trajectory_matches_committed_fixture_at_1_and_4_threads() {
+    if std::env::var_os("SF_REGEN_GOLDEN").is_some() {
+        sf_tensor::pool::set_num_threads(1);
+        let traj = run_trajectory();
+        std::fs::write(fixture_path(), trajectory_to_json(&traj))
+            .expect("write regenerated golden fixture");
+        eprintln!("regenerated {}", fixture_path().display());
+        return;
+    }
+    let golden = load_fixture();
+    for threads in [1usize, 4] {
+        sf_tensor::pool::set_num_threads(threads);
+        let traj = run_trajectory();
+        assert_matches_fixture(&traj, &golden, &format!("{threads} thread(s)"));
+    }
+}
+
+/// Two runs of the same config are bit-identical — the precondition that
+/// makes the fixture meaningful (and a canary for hidden global state).
+#[test]
+fn golden_run_is_reproducible_within_process() {
+    let a = run_trajectory();
+    let b = run_trajectory();
+    assert_eq!(a, b, "same config + seed must reproduce exactly");
+}
