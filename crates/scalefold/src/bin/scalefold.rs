@@ -20,6 +20,11 @@
 //! for whatever command runs and writes a Chrome `trace_event` JSON file
 //! (loadable in `chrome://tracing` / Perfetto) on exit.
 //!
+//! The global `--no-fused` flag falls back from the fused
+//! attention-softmax-gate kernel to the composed op chain, for A/B
+//! comparison and debugging. `bench-kernels --no-fused` writes
+//! `BENCH_kernels_nofused.json` so both reports can coexist.
+//!
 //! All I/O failures propagate to a nonzero exit code instead of panicking.
 
 use scalefold::kernel_bench::{self, BenchScale};
@@ -50,17 +55,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let (args, fused) = extract_no_fused_flag(args);
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
-        "train" => parse_num(&args, 1, 20).and_then(train),
+        "train" => parse_num(&args, 1, 20).and_then(|n| train(n, fused)),
         "simulate" => parse_num(&args, 1, 8).and_then(|n| simulate(n as usize)),
         "memory" => parse_num(&args, 1, 8).and_then(|n| memory_report(n as usize)),
         "ladder" => ladder(),
         "figures" => figures(),
-        "faults" => parse_num(&args, 1, 6).and_then(fault_drill),
+        "faults" => parse_num(&args, 1, 6).and_then(|n| fault_drill(n, fused)),
         "tradeoff" => parse_num(&args, 1, 2000).and_then(tradeoff),
-        "bench-kernels" => bench_kernels(),
-        "trace-report" => trace_report(args.get(1).map(String::as_str)),
+        "bench-kernels" => bench_kernels(fused),
+        "trace-report" => trace_report(args.get(1).map(String::as_str), fused),
         "help" | "--help" | "-h" => help(),
         other => {
             let _ = help();
@@ -137,6 +143,25 @@ fn extract_trace_flag(args: Vec<String>) -> Result<(Vec<String>, Option<PathBuf>
     Ok((rest, path))
 }
 
+/// Strips the global `--no-fused` flag from `args`; returns the remaining
+/// arguments plus whether the fused attention-softmax-gate kernel stays
+/// enabled (`true` = fused, the default).
+fn extract_no_fused_flag(args: Vec<String>) -> (Vec<String>, bool) {
+    let mut fused = true;
+    let rest = args
+        .into_iter()
+        .filter(|a| {
+            if a == "--no-fused" {
+                fused = false;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    (rest, fused)
+}
+
 /// Drains the global trace collector into `path` as Chrome `trace_event`
 /// JSON and prints a one-line summary of what was captured.
 fn write_trace(path: &Path) -> CliResult {
@@ -189,6 +214,8 @@ fn help() -> CliResult {
     println!("                      (default: SF_THREADS, then core count)");
     println!("  --trace PATH        record a runtime trace of the command and");
     println!("                      write Chrome trace_event JSON to PATH");
+    println!("  --no-fused          use the composed attention op chain instead");
+    println!("                      of the fused kernel (A/B and debugging)");
     Ok(())
 }
 
@@ -196,7 +223,7 @@ fn help() -> CliResult {
 /// print its per-step phase table. `trace-report` with no path runs the
 /// paper's data-wait A/B on the real trainer instead: the same straggler
 /// sample through the blocking and the non-blocking loader.
-fn trace_report(path: Option<&str>) -> CliResult {
+fn trace_report(path: Option<&str>, fused: bool) -> CliResult {
     match path {
         Some(p) => {
             let text = std::fs::read_to_string(p)
@@ -213,7 +240,7 @@ fn trace_report(path: Option<&str>) -> CliResult {
             }
             Ok(())
         }
-        None => loader_drill(),
+        None => loader_drill(fused),
     }
 }
 
@@ -221,7 +248,7 @@ fn trace_report(path: Option<&str>) -> CliResult {
 /// trainer): inject one straggler sample, train twice — once through the
 /// strict-order blocking loader, once through the non-blocking pipeline —
 /// and compare the `data_wait` share of step time from the traces.
-fn loader_drill() -> CliResult {
+fn loader_drill(fused: bool) -> CliResult {
     const STEPS: u64 = 6;
     const SLOW_SAMPLE: usize = 1;
     let delay = Duration::from_millis(150);
@@ -239,6 +266,7 @@ fn loader_drill() -> CliResult {
         cfg.model.extra_msa_blocks = 0;
         cfg.dataset_len = 8;
         cfg.loader = kind;
+        cfg.fused_kernels = fused;
         let plan = FaultPlan::none().with_slow_sample(SLOW_SAMPLE, delay);
         let mut trainer = Trainer::with_faults(cfg, plan);
         let reports = trainer.train(STEPS);
@@ -277,20 +305,29 @@ fn loader_drill() -> CliResult {
     }
 }
 
-fn bench_kernels() -> CliResult {
+fn bench_kernels(fused: bool) -> CliResult {
     println!(
-        "timing CPU kernels at AlphaFold-like shapes ({} threads)...\n",
-        sf_tensor::pool::num_threads()
+        "timing CPU kernels at AlphaFold-like shapes ({} threads{})...\n",
+        sf_tensor::pool::num_threads(),
+        if fused { "" } else { ", --no-fused" }
     );
-    let report = kernel_bench::run(0, BenchScale::Full);
+    let report = kernel_bench::run_mode(0, BenchScale::Full, fused);
     println!("{}", report.to_table());
-    std::fs::write("BENCH_kernels.json", report.to_json())?;
-    println!("wrote BENCH_kernels.json");
+    // Fused and unfused runs write different files so CI can upload and
+    // diff both sides of the A/B.
+    let out = if fused {
+        "BENCH_kernels.json"
+    } else {
+        "BENCH_kernels_nofused.json"
+    };
+    std::fs::write(out, report.to_json())?;
+    println!("wrote {out}");
     Ok(())
 }
 
-fn train(steps: u64) -> CliResult {
+fn train(steps: u64, fused: bool) -> CliResult {
     let mut cfg = TrainerConfig::tiny();
+    cfg.fused_kernels = fused;
     cfg.model.evoformer_blocks = 1;
     cfg.model.extra_msa_blocks = 0;
     // Larger proteins than the test-scale default: big enough that the
@@ -375,9 +412,10 @@ fn figures() -> CliResult {
 /// End-to-end fault drill on the *real* trainer: a permanently poisoned
 /// sample, a NaN-gradient step, and a bit-flipped checkpoint — the run
 /// must survive all three and resume from the newest valid checkpoint.
-fn fault_drill(steps: u64) -> CliResult {
+fn fault_drill(steps: u64, fused: bool) -> CliResult {
     let steps = steps.max(3);
     let mut cfg = TrainerConfig::tiny();
+    cfg.fused_kernels = fused;
     cfg.model.evoformer_blocks = 1;
     cfg.model.extra_msa_blocks = 0;
     cfg.dataset_len = 6;

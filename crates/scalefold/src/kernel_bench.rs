@@ -1,7 +1,8 @@
 //! Kernel benchmark baseline for the parallel CPU backend.
 //!
-//! Times the four hot kernels (batched GEMM, LayerNorm, softmax, fused
-//! attention) at AlphaFold-like shapes in three configurations:
+//! Times the hot kernels (batched GEMM, LayerNorm, softmax, flash
+//! attention, fused gated attention) at AlphaFold-like shapes in three
+//! configurations:
 //!
 //! 1. **seed serial** — the reference kernels the repo started with
 //!    ([`sf_tensor::ops::matmul::gemm_block`], `naive_forward`,
@@ -22,10 +23,10 @@
 
 use std::time::Instant;
 
-use sf_tensor::ops::attention::{flash_attention, FLASH_TILE};
+use sf_tensor::ops::attention::{attention_fused, flash_attention, FLASH_TILE, MASK_NEG};
 use sf_tensor::ops::layernorm::fused_forward;
 use sf_tensor::ops::matmul::{gemm_block, matmul};
-use sf_tensor::ops::softmax::{softmax, softmax_row, OnlineSoftmax};
+use sf_tensor::ops::softmax::softmax;
 use sf_tensor::pool;
 use sf_tensor::Tensor;
 
@@ -53,6 +54,75 @@ fn seed_layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tenso
     out
 }
 
+/// The seed repo's softmax row kernel: serial max fold and a scalar
+/// `f32::exp` (libm call) per element. Kept here verbatim as the
+/// benchmark's "before" kernel — the production `softmax_row` now runs on
+/// the 8-lane polynomial `vexp`.
+fn seed_softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// The seed repo's online-softmax recurrence with scalar `f32::exp`. The
+/// production `OnlineSoftmax` now uses the vectorized `vexp`, so the seed
+/// attention keeps its own scalar copy to stay an honest baseline.
+struct SeedOnlineSoftmax {
+    max: f32,
+    denom: f32,
+}
+
+impl SeedOnlineSoftmax {
+    fn new() -> Self {
+        SeedOnlineSoftmax { max: f32::NEG_INFINITY, denom: 0.0 }
+    }
+
+    fn fold_tile(&mut self, logits: &[f32], values: &[f32], acc: &mut [f32]) {
+        let d = acc.len();
+        let tile_max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let new_max = self.max.max(tile_max);
+        if new_max == f32::NEG_INFINITY {
+            return;
+        }
+        if self.max != new_max {
+            let scale = if self.max == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.max - new_max).exp()
+            };
+            for a in acc.iter_mut() {
+                *a *= scale;
+            }
+            self.denom *= scale;
+        }
+        for (j, &l) in logits.iter().enumerate() {
+            let w = (l - new_max).exp();
+            self.denom += w;
+            let vrow = &values[j * d..(j + 1) * d];
+            for (a, &v) in acc.iter_mut().zip(vrow.iter()) {
+                *a += w * v;
+            }
+        }
+        self.max = new_max;
+    }
+
+    fn finish(&self, acc: &mut [f32]) {
+        if self.denom > 0.0 {
+            let inv = 1.0 / self.denom;
+            for a in acc.iter_mut() {
+                *a *= inv;
+            }
+        }
+    }
+}
+
 /// The seed repo's production attention: the serial flash kernel with a
 /// scalar q·k dot product per logit (a serial FP chain per key). Kept here
 /// verbatim as the benchmark's "before" kernel; bias handling is dropped to
@@ -73,7 +143,7 @@ fn seed_flash_attention(q: &Tensor, k: &Tensor, v: &Tensor, bias: &Tensor, scale
         for i in 0..s_q {
             let qrow = &qd[q_base + i * d..q_base + (i + 1) * d];
             let orow = &mut out.data_mut()[q_base + i * d..q_base + (i + 1) * d];
-            let mut state = OnlineSoftmax::new();
+            let mut state = SeedOnlineSoftmax::new();
             let mut j0 = 0usize;
             while j0 < s_k {
                 let j1 = (j0 + FLASH_TILE).min(s_k);
@@ -108,6 +178,11 @@ pub struct KernelTiming {
     pub opt_serial_ms: f64,
     /// Best time of the optimized kernel at the report's thread count.
     pub parallel_ms: f64,
+    /// Best time of the *composed* (unfused, current-primitives) op chain
+    /// at the report's thread count — only for rows where a fused kernel
+    /// replaces a multi-op chain (`attention_fused`). This is exactly the
+    /// path the `--no-fused` escape hatch executes.
+    pub composed_ms: Option<f64>,
 }
 
 impl KernelTiming {
@@ -124,6 +199,17 @@ impl KernelTiming {
     /// Speedup of the parallel kernel over its own one-thread run.
     pub fn speedup_parallel_vs_opt(&self) -> f64 {
         self.opt_serial_ms / self.parallel_ms
+    }
+
+    /// Speedup of the fused kernel over the composed op chain (rows with a
+    /// `composed_ms` measurement only). Uses the *best* fused time across
+    /// the serial and parallel runs: on hosts with fewer cores than the
+    /// requested thread count the oversubscribed parallel run is pure
+    /// scheduler noise, and a de-fusion regression shows up in both runs
+    /// anyway.
+    pub fn speedup_fused_vs_composed(&self) -> Option<f64> {
+        self.composed_ms
+            .map(|c| c / self.parallel_ms.min(self.opt_serial_ms))
     }
 }
 
@@ -160,6 +246,10 @@ impl KernelBenchReport {
             ));
             s.push_str(&format!("      \"opt_serial_ms\": {:.4},\n", t.opt_serial_ms));
             s.push_str(&format!("      \"parallel_ms\": {:.4},\n", t.parallel_ms));
+            if let (Some(c), Some(f)) = (t.composed_ms, t.speedup_fused_vs_composed()) {
+                s.push_str(&format!("      \"composed_ms\": {c:.4},\n"));
+                s.push_str(&format!("      \"speedup_fused_vs_composed\": {f:.2},\n"));
+            }
             s.push_str(&format!(
                 "      \"speedup_opt_vs_seed\": {:.2},\n",
                 t.speedup_opt_vs_seed()
@@ -201,8 +291,53 @@ impl KernelBenchReport {
                 t.speedup_parallel_vs_seed(),
                 t.speedup_parallel_vs_opt()
             ));
+            if let (Some(c), Some(f)) = (t.composed_ms, t.speedup_fused_vs_composed()) {
+                s.push_str(&format!(
+                    "{:<16} {:<28} {:>12} {:>12.4} {:>12} {:>8} {:>7.2}x\n",
+                    "", "  vs composed chain", "", c, "", "fused", f
+                ));
+            }
         }
         s
+    }
+
+    /// CI guard against silent de-fusion: the vectorized softmax must beat
+    /// the seed scalar path, and the fused attention kernel must not be
+    /// slower than the composed (`--no-fused`) op chain it replaces.
+    /// Thresholds are deliberately lenient (shared CI runners are noisy) —
+    /// this catches *regressions to the unfused world*, not missed wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated bound.
+    pub fn check_fused(&self) -> Result<(), String> {
+        let softmax = self
+            .timings
+            .iter()
+            .find(|t| t.name == "softmax")
+            .ok_or("no softmax row in report")?;
+        if softmax.speedup_opt_vs_seed() < 1.2 {
+            return Err(format!(
+                "fused softmax regressed below the composed path: {:.4} ms vs seed {:.4} ms ({:.2}x < 1.2x)",
+                softmax.opt_serial_ms,
+                softmax.seed_serial_ms,
+                softmax.speedup_opt_vs_seed()
+            ));
+        }
+        let fused = self
+            .timings
+            .iter()
+            .find(|t| t.name == "attention_fused")
+            .ok_or("no attention_fused row in report")?;
+        match fused.speedup_fused_vs_composed() {
+            Some(r) if r < 0.9 => Err(format!(
+                "fused attention regressed below the composed chain: {:.4} ms vs composed {:.4} ms ({r:.2}x < 0.9x)",
+                fused.parallel_ms,
+                fused.composed_ms.unwrap_or(f64::NAN)
+            )),
+            Some(_) => Ok(()),
+            None => Err("attention_fused row has no composed_ms measurement".into()),
+        }
     }
 }
 
@@ -268,6 +403,20 @@ impl BenchShapes {
 /// Panics if an optimized kernel's output diverges from its serial
 /// reference — a fast-but-wrong kernel must not produce a baseline.
 pub fn run(threads: usize, scale: BenchScale) -> KernelBenchReport {
+    run_mode(threads, scale, true)
+}
+
+/// [`run`] with the fused/composed switch exposed: `fused == false` times
+/// the composed op chain in the `attention_fused` row's opt/parallel slots
+/// instead of the fused kernel, mirroring the `--no-fused` escape hatch.
+/// The `composed_ms` column is measured either way, so the two reports are
+/// directly comparable.
+///
+/// # Panics
+///
+/// Panics if an optimized kernel's output diverges from its serial
+/// reference — a fast-but-wrong kernel must not produce a baseline.
+pub fn run_mode(threads: usize, scale: BenchScale, fused: bool) -> KernelBenchReport {
     let prev = pool::num_threads();
     if threads > 0 {
         pool::set_num_threads(threads);
@@ -333,6 +482,7 @@ pub fn run(threads: usize, scale: BenchScale) -> KernelBenchReport {
             seed_serial_ms,
             opt_serial_ms,
             parallel_ms,
+            composed_ms: None,
         });
     }
 
@@ -368,6 +518,7 @@ pub fn run(threads: usize, scale: BenchScale) -> KernelBenchReport {
             seed_serial_ms,
             opt_serial_ms,
             parallel_ms,
+            composed_ms: None,
         });
     }
 
@@ -383,7 +534,7 @@ pub fn run(threads: usize, scale: BenchScale) -> KernelBenchReport {
         let seed_softmax = |x: &Tensor| {
             let mut y = x.clone();
             for row in y.data_mut().chunks_mut(inner) {
-                softmax_row(row);
+                seed_softmax_row(row);
             }
             y
         };
@@ -411,6 +562,7 @@ pub fn run(threads: usize, scale: BenchScale) -> KernelBenchReport {
             seed_serial_ms,
             opt_serial_ms,
             parallel_ms,
+            composed_ms: None,
         });
     }
 
@@ -451,6 +603,107 @@ pub fn run(threads: usize, scale: BenchScale) -> KernelBenchReport {
             seed_serial_ms,
             opt_serial_ms,
             parallel_ms,
+            composed_ms: None,
+        });
+    }
+
+    // --- Fused gated attention ------------------------------------------
+    // The full evoformer head: scale + pair bias + mask penalty + softmax +
+    // sigmoid gate, in one pass over the tiles. Three contenders:
+    //   seed      — materialized bias+mask add, seed flash kernel (scalar
+    //               exp), separate scalar sigmoid-gate multiply;
+    //   composed  — the same chain on today's primitives (what `--no-fused`
+    //               executes), timed into `composed_ms`;
+    //   fused     — `attention_fused`, logits and gate never materialized.
+    {
+        let (b, h, s, d) = sh.attn;
+        let q = Tensor::randn(&[b, h, s, d], 51);
+        let k = Tensor::randn(&[b, h, s, d], 52);
+        let v = Tensor::randn(&[b, h, s, d], 53);
+        let bias = Tensor::randn(&[h, s, s], 54);
+        let gate = Tensor::randn(&[b, h, s, d], 55);
+        // Pair mask zeroing the last eighth of the keys, as padded crops do.
+        let mask = {
+            let mut m = Tensor::ones(&[h, s, s]);
+            for row in m.data_mut().chunks_mut(s) {
+                for mv in row[s - s / 8..].iter_mut() {
+                    *mv = 0.0;
+                }
+            }
+            m
+        };
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let seed_chain = || {
+            let biased = {
+                let mut t = bias.clone();
+                for (bv, &mv) in t.data_mut().iter_mut().zip(mask.data().iter()) {
+                    if mv == 0.0 {
+                        *bv += MASK_NEG;
+                    }
+                }
+                t
+            };
+            let att = seed_flash_attention(&q, &k, &v, &biased, scale);
+            let mut y = att;
+            for (yv, &gv) in y.data_mut().iter_mut().zip(gate.data().iter()) {
+                *yv /= 1.0 + (-gv).exp();
+            }
+            y
+        };
+        let composed_chain = || {
+            let penalty = mask.map(|mv| if mv == 0.0 { MASK_NEG } else { 0.0 });
+            let biased = bias.add(&penalty).expect("bench bias+mask");
+            let att = flash_attention(&q, &k, &v, Some(&biased), scale).expect("bench attn");
+            gate.sigmoid().mul(&att).expect("bench gate")
+        };
+        let fused_chain = || {
+            attention_fused(&q, &k, &v, Some(&bias), Some(&mask), Some(&gate), scale)
+                .expect("bench fused attn")
+                .out
+        };
+
+        let seed_y = seed_chain();
+        let composed_y = composed_chain();
+        let fused_y = fused_chain();
+        assert!(
+            composed_y.allclose(&seed_y, 1e-4),
+            "composed gated attention diverged from the seed chain"
+        );
+        assert!(
+            fused_y.allclose(&composed_y, 1e-4),
+            "fused gated attention diverged from the composed chain"
+        );
+
+        let seed_serial_ms = best_of(iters, || {
+            std::hint::black_box(seed_chain());
+        });
+        pool::set_num_threads(1);
+        let opt_serial_ms = best_of(iters, || {
+            if fused {
+                std::hint::black_box(fused_chain());
+            } else {
+                std::hint::black_box(composed_chain());
+            }
+        });
+        pool::set_num_threads(nthreads);
+        let parallel_ms = best_of(iters, || {
+            if fused {
+                std::hint::black_box(fused_chain());
+            } else {
+                std::hint::black_box(composed_chain());
+            }
+        });
+        let composed_ms = best_of(iters, || {
+            std::hint::black_box(composed_chain());
+        });
+        timings.push(KernelTiming {
+            name: "attention_fused",
+            shape: format!("q/k/v/g [{b},{h},{s},{d}] + bias/mask [{h},{s},{s}]"),
+            seed_serial_ms,
+            opt_serial_ms,
+            parallel_ms,
+            composed_ms: Some(composed_ms),
         });
     }
 
@@ -470,7 +723,7 @@ mod tests {
     fn quick_bench_produces_sane_report() {
         let report = run(2, BenchScale::Quick);
         assert_eq!(report.threads, 2);
-        assert_eq!(report.timings.len(), 4);
+        assert_eq!(report.timings.len(), 5);
         for t in &report.timings {
             assert!(t.seed_serial_ms.is_finite() && t.seed_serial_ms >= 0.0);
             assert!(t.opt_serial_ms.is_finite() && t.opt_serial_ms >= 0.0);
@@ -480,8 +733,28 @@ mod tests {
         let names: Vec<_> = report.timings.iter().map(|t| t.name).collect();
         assert_eq!(
             names,
-            ["matmul_batched", "layer_norm", "softmax", "attention"]
+            [
+                "matmul_batched",
+                "layer_norm",
+                "softmax",
+                "attention",
+                "attention_fused"
+            ]
         );
+        let fused = report.timings.last().expect("fused row");
+        assert!(fused.composed_ms.is_some());
+        assert!(fused.speedup_fused_vs_composed().expect("ratio") > 0.0);
+    }
+
+    #[test]
+    fn no_fused_mode_still_reports_composed_column() {
+        let report = run_mode(1, BenchScale::Quick, false);
+        let fused = report
+            .timings
+            .iter()
+            .find(|t| t.name == "attention_fused")
+            .expect("fused row");
+        assert!(fused.composed_ms.is_some());
     }
 
     #[test]
@@ -495,6 +768,7 @@ mod tests {
                 seed_serial_ms: 2.0,
                 opt_serial_ms: 1.0,
                 parallel_ms: 0.5,
+                composed_ms: Some(1.5),
             }],
         };
         let json = report.to_json();
@@ -503,6 +777,8 @@ mod tests {
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"speedup_parallel_vs_seed\": 4.00"));
         assert!(json.contains("\"speedup_parallel_vs_opt\": 2.00"));
+        assert!(json.contains("\"composed_ms\": 1.5000"));
+        assert!(json.contains("\"speedup_fused_vs_composed\": 3.00"));
         let table = report.to_table();
         assert!(table.contains("matmul_batched"));
     }

@@ -68,6 +68,10 @@ pub struct TrainerConfig {
     /// Compute threads for the `sf-tensor` parallel CPU backend
     /// (0 = auto: honor `SF_THREADS`, else the machine's core count).
     pub num_threads: usize,
+    /// Use the fused attention-softmax-gate kernel in the Evoformer
+    /// (`false` = `--no-fused`: the composed op chain, for A/B and
+    /// debugging). Overrides `model.fused_kernels` when disabled.
+    pub fused_kernels: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -94,6 +98,7 @@ impl TrainerConfig {
             loader_workers: 2,
             loader: LoaderKind::NonBlocking,
             num_threads: 0,
+            fused_kernels: true,
             seed: 7,
         }
     }
@@ -236,9 +241,12 @@ impl Trainer {
     /// worker panics and stragglers fire inside the data pipeline,
     /// NaN-gradient steps fire in [`Trainer::train_step`]. The run must
     /// survive all of them; inspect [`Trainer::recovery_log`] afterwards.
-    pub fn with_faults(cfg: TrainerConfig, plan: FaultPlan) -> Self {
+    pub fn with_faults(mut cfg: TrainerConfig, plan: FaultPlan) -> Self {
         if cfg.num_threads > 0 {
             sf_tensor::pool::set_num_threads(cfg.num_threads);
+        }
+        if !cfg.fused_kernels {
+            cfg.model.fused_kernels = false;
         }
         let model = AlphaFold::new(cfg.model.clone());
         let optimizer = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);

@@ -370,6 +370,63 @@ impl Graph {
         Ok(self.push(out, Op::Attention { q, k, v, bias, scale }))
     }
 
+    /// Fully fused attention head — scale, optional pair `bias`, optional
+    /// `mask` (zero entries are masked out; non-differentiable), online
+    /// softmax, and the optional sigmoid-`gate` epilogue run in one
+    /// `sf-tensor` kernel ([`sf_tensor::ops::attention::attention_fused`]).
+    /// The tape stores only the per-row softmax log-sum-exp (plus the
+    /// pre-gate output when gated) instead of the `[S_q, S_k]` probability
+    /// tensor; the backward recomputes probabilities from those stats and
+    /// folds softmax-backward into the attention gradient.
+    ///
+    /// Numerically equivalent (≤1e-5 rel, property-tested) to the composed
+    /// chain `mul(sigmoid(gate), attention(q, k, v, bias + maskneg))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on any shape incompatibility.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attention_fused(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        bias: Option<Var>,
+        mask: Option<Var>,
+        gate: Option<Var>,
+        scale: f32,
+    ) -> Result<Var> {
+        self.check(q)?;
+        self.check(k)?;
+        self.check(v)?;
+        for opt in [bias, mask, gate].into_iter().flatten() {
+            self.check(opt)?;
+        }
+        let fused = sf_tensor::ops::attention::attention_fused(
+            self.value(q),
+            self.value(k),
+            self.value(v),
+            bias.map(|b| self.value(b)),
+            mask.map(|m| self.value(m)),
+            gate.map(|g| self.value(g)),
+            scale,
+        )?;
+        Ok(self.push(
+            fused.out,
+            Op::FusedAttention {
+                q,
+                k,
+                v,
+                bias,
+                mask,
+                gate,
+                scale,
+                att: fused.att,
+                lse: fused.lse,
+            },
+        ))
+    }
+
     // ------------------------------------------------------------------
     // Shape ops
     // ------------------------------------------------------------------

@@ -43,6 +43,26 @@ pub(crate) enum Op {
         bias: Option<Var>,
         scale: f32,
     },
+    /// Fully fused attention head (`sf_tensor::ops::attention::attention_fused`):
+    /// scale + pair bias + mask + online softmax + sigmoid gate in one
+    /// kernel. Saves only the per-row softmax log-sum-exp (`lse`) and —
+    /// when gated — the pre-gate output, never the `[S_q, S_k]`
+    /// probability tensor; the backward recomputes each probability tile
+    /// from `lse` in a single pass. The mask is non-differentiable.
+    FusedAttention {
+        q: Var,
+        k: Var,
+        v: Var,
+        bias: Option<Var>,
+        mask: Option<Var>,
+        gate: Option<Var>,
+        scale: f32,
+        /// Pre-gate attention output (`None` when ungated: the node value
+        /// already is the pre-gate output).
+        att: Option<Tensor>,
+        /// Per-row log-sum-exp softmax statistics.
+        lse: Tensor,
+    },
     Reshape(Var),
     Permute {
         x: Var,
@@ -188,6 +208,26 @@ impl Graph {
                 let mut outs = vec![(q.0, dq), (k.0, dk), (v.0, dvv)];
                 if let (Some(b), Some(dbias)) = (bias, dbias) {
                     outs.push((b.0, dbias));
+                }
+                Pending::Many(outs)
+            }
+            Op::FusedAttention { q, k, v, bias, mask, gate, scale, att, lse } => {
+                let qv = &self.nodes[q.0].value;
+                let kv = &self.nodes[k.0].value;
+                let vv = &self.nodes[v.0].value;
+                let bv = bias.map(|b| &self.nodes[b.0].value);
+                let mv = mask.map(|m| &self.nodes[m.0].value);
+                let gv = gate.map(|g| &self.nodes[g.0].value);
+                let att_ref = att.as_ref().unwrap_or(&self.nodes[i].value);
+                let g = sf_tensor::ops::attention::attention_fused_backward(
+                    qv, kv, vv, bv, mv, gv, att_ref, lse, *scale, dy,
+                )?;
+                let mut outs = vec![(q.0, g.dq), (k.0, g.dk), (v.0, g.dv)];
+                if let (Some(b), Some(dbias)) = (bias, g.dbias) {
+                    outs.push((b.0, dbias));
+                }
+                if let (Some(gt), Some(dgate)) = (gate, g.dgate) {
+                    outs.push((gt.0, dgate));
                 }
                 Pending::Many(outs)
             }

@@ -52,6 +52,9 @@ pub struct BlockDims {
     pub transition_factor: usize,
     /// Dropout probability on attention/triangle outputs (0 disables).
     pub dropout: f32,
+    /// Use the fused attention-softmax-gate kernel (vs the composed op
+    /// chain) in gated axis attention.
+    pub fused: bool,
 }
 
 impl BlockDims {
@@ -68,6 +71,7 @@ impl BlockDims {
             c_opm: cfg.c_opm,
             transition_factor: cfg.transition_factor,
             dropout: cfg.dropout,
+            fused: cfg.fused_kernels,
         }
     }
 
@@ -172,6 +176,7 @@ fn gated_axis_attention(
     c_in: usize,
     heads: usize,
     c_hidden: usize,
+    fused: bool,
 ) -> Result<Var> {
     let hd = heads * c_hidden;
     let q_proj = Linear::no_bias(format!("{prefix}.q"), c_in, hd);
@@ -192,12 +197,19 @@ fn gated_axis_attention(
     let qh = to_heads(g, q)?;
     let kh = to_heads(g, k)?;
     let vh = to_heads(g, v)?;
-    let scale = 1.0 / (c_hidden as f32).sqrt();
-    let att = g.attention(qh, kh, vh, bias, scale)?;
-    // Gate in head layout, then back to [B1, B2, h*d].
     let gh = to_heads(g, gate)?;
-    let gsig = g.sigmoid(gh)?;
-    let gated = g.mul(gsig, att)?;
+    let scale = 1.0 / (c_hidden as f32).sqrt();
+    let gated = if fused {
+        // One kernel: scale + pair bias + online softmax + sigmoid gate,
+        // with softmax-backward folded into the attention grad.
+        g.attention_fused(qh, kh, vh, bias, None, Some(gh), scale)?
+    } else {
+        // Composed escape hatch (`--no-fused`): the seed-era op chain,
+        // kept for A/B comparison and debugging.
+        let att = g.attention(qh, kh, vh, bias, scale)?;
+        let gsig = g.sigmoid(gh)?;
+        g.mul(gsig, att)?
+    };
     let back = g.permute(gated, &[0, 2, 1, 3])?;
     let flat = g.reshape(back, &[b1, b2, hd])?;
     Linear::new(format!("{prefix}.out"), hd, c_in).apply(g, store, flat)
@@ -254,6 +266,7 @@ pub fn msa_row_attention_with_pair_bias(
         dims.c_m,
         dims.msa_heads,
         dims.c_hidden_msa,
+        dims.fused,
     )?;
     dropout_residual(g, dims, prefix, m, att)
 }
@@ -278,6 +291,7 @@ pub fn msa_column_attention(
         dims.c_m,
         dims.msa_heads,
         dims.c_hidden_msa,
+        dims.fused,
     )?;
     let back = g.permute(att, &[1, 0, 2])?;
     g.add(m, back)
@@ -518,6 +532,7 @@ pub fn triangle_attention(
         dims.c_z,
         dims.pair_heads,
         dims.c_hidden_pair,
+        dims.fused,
     )?;
     let att = if starting { att } else { g.permute(att, &[1, 0, 2])? };
     dropout_residual(g, dims, prefix, z, att)
@@ -616,6 +631,7 @@ mod tests {
             c_opm: c,
             transition_factor: 2,
             dropout: 0.0,
+            fused: true,
         };
         let m0 = Tensor::randn(&[s, r, c_m], 7);
         let z0 = Tensor::zeros(&[r, r, 3]);

@@ -105,7 +105,7 @@ pub fn plddt_scores(logits: &Tensor) -> Vec<f32> {
     logits
         .data()
         .iter()
-        .map(|&l| 100.0 / (1.0 + (-l).exp()))
+        .map(|&l| 100.0 / (1.0 + sf_tensor::ops::vexp::vexp(-l)))
         .collect()
 }
 

@@ -19,11 +19,21 @@
 
 use crate::ops::matmul::matmul_bt;
 use crate::ops::softmax::{softmax, OnlineSoftmax};
+use crate::ops::vexp::vexp;
 use crate::pool::{parallel_for, SendPtr};
 use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::broadcast_strides;
 use crate::{Result, Tensor, TensorError};
+
+/// Additive logit penalty for masked-out keys (matches
+/// [`crate::ops::softmax::masked_softmax`]): large enough that masked
+/// probabilities underflow to exactly zero whenever the row keeps at least
+/// one valid key, finite so fully-masked rows stay NaN-free. On a fully
+/// masked row the penalty cancels in the softmax but its f32 absorption
+/// quantizes the O(1) logits to ~2e-3, so such rows are only
+/// *approximately* uniform — callers mask padding queries downstream.
+pub const MASK_NEG: f32 = -3.0e4;
 
 /// Key-tile width for the flash kernel. Small enough to exercise multi-tile
 /// paths in tests; on a GPU this would be the Triton `BLOCK_N`.
@@ -101,6 +111,231 @@ pub fn naive_attention(
     probs.matmul(v)
 }
 
+/// Broadcast-strided reader for a side input (pair bias or mask) shaped to
+/// broadcast against the logits `[batch..., s_q, s_k]`. Batch base offsets
+/// are precomputed so rows can be read in any order on any thread.
+struct LogitsBcast<'a> {
+    data: &'a [f32],
+    row_stride: usize,
+    col_stride: usize,
+    batch_offs: Vec<usize>,
+}
+
+impl LogitsBcast<'_> {
+    #[inline(always)]
+    fn at(&self, b: usize, i: usize, j: usize) -> f32 {
+        self.data[self.batch_offs[b] + i * self.row_stride + j * self.col_stride]
+    }
+}
+
+fn logits_bcast<'a>(
+    t: &'a Tensor,
+    q: &Tensor,
+    s_q: usize,
+    s_k: usize,
+    batch: usize,
+) -> Result<LogitsBcast<'a>> {
+    let logits_shape = check_bias(q, s_q, s_k, t)?;
+    let st = broadcast_strides(t.shape(), &logits_shape);
+    let rank = st.len();
+    let batch_dims = &q.dims()[..q.rank() - 2];
+    let mut batch_offs = Vec::with_capacity(batch);
+    let mut batch_idx = vec![0usize; batch_dims.len()];
+    for _ in 0..batch {
+        batch_offs.push(
+            batch_idx
+                .iter()
+                .zip(st.iter())
+                .map(|(&i, &s)| i * s)
+                .sum::<usize>(),
+        );
+        let mut axis = batch_dims.len();
+        while axis > 0 {
+            axis -= 1;
+            batch_idx[axis] += 1;
+            if batch_idx[axis] < batch_dims[axis] {
+                break;
+            }
+            batch_idx[axis] = 0;
+        }
+    }
+    Ok(LogitsBcast {
+        data: t.data(),
+        row_stride: st[rank - 2],
+        col_stride: st[rank - 1],
+        batch_offs,
+    })
+}
+
+/// Result of [`attention_fused`]: the (possibly gated) output plus the
+/// per-row softmax statistics the fused backward needs.
+#[derive(Debug, Clone)]
+pub struct FusedAttention {
+    /// Attention output, gated when a gate was supplied: `[..., S_q, D]`.
+    pub out: Tensor,
+    /// Pre-gate attention output `P @ V`, saved only when a gate was
+    /// supplied (otherwise it equals `out`).
+    pub att: Option<Tensor>,
+    /// Per-query-row log-sum-exp of the scaled/biased/masked logits,
+    /// `[batch..., S_q]` — enough to recompute any probability tile in the
+    /// backward pass without storing the `[S_q, S_k]` probability tensor.
+    pub lse: Tensor,
+}
+
+impl FusedAttention {
+    /// The pre-gate attention output (`out` itself when ungated).
+    pub fn pre_gate(&self) -> &Tensor {
+        self.att.as_ref().unwrap_or(&self.out)
+    }
+}
+
+/// Gradients returned by [`attention_fused_backward`].
+#[derive(Debug, Clone)]
+pub struct FusedAttentionGrads {
+    pub dq: Tensor,
+    pub dk: Tensor,
+    pub dv: Tensor,
+    /// Present iff a bias was supplied (sum-reduced to the bias shape).
+    pub dbias: Option<Tensor>,
+    /// Present iff a gate was supplied.
+    pub dgate: Option<Tensor>,
+}
+
+/// Shared tiled kernel behind [`flash_attention`] and [`attention_fused`].
+///
+/// One work item per (batch, query-row block) — the paper's (batch, head)
+/// parallelization with the row axis split for load balance. Each item
+/// packs its batch element's K transposed into thread-local scratch, so a
+/// tile of logits accumulates *vectorized across the tile lanes* (the
+/// plain q·k dot product is a serial FP chain the compiler cannot
+/// vectorize). Per logit the accumulation still runs over the head dim in
+/// one fixed ascending pass, and each row's tile-by-tile online-softmax
+/// order is fixed, so output is bit-identical for every thread count.
+fn flash_core(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    bias: Option<&Tensor>,
+    mask: Option<&Tensor>,
+    gate: Option<&Tensor>,
+    scale: f32,
+) -> Result<FusedAttention> {
+    let (batch, s_q, s_k, d) = check_qkv(q, k, v)?;
+    let mut out_dims = q.dims().to_vec();
+    *out_dims.last_mut().expect("rank >= 2") = d;
+    let bias_rd = bias.map(|b| logits_bcast(b, q, s_q, s_k, batch)).transpose()?;
+    let mask_rd = mask.map(|m| logits_bcast(m, q, s_q, s_k, batch)).transpose()?;
+    if let Some(g) = gate {
+        if g.dims() != out_dims.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                op: "attention gate",
+                lhs: g.dims().to_vec(),
+                rhs: out_dims,
+            });
+        }
+    }
+    let mut lse_dims = q.dims()[..q.rank() - 2].to_vec();
+    lse_dims.push(s_q);
+    let mut att = Tensor::zeros(&out_dims);
+    let mut gated = gate.map(|_| Tensor::zeros(&out_dims));
+    let mut lse = Tensor::zeros(&lse_dims);
+    if batch == 0 || s_q == 0 {
+        return Ok(match gated {
+            Some(g) => FusedAttention { out: g, att: Some(att), lse },
+            None => FusedAttention { out: att, att: None, lse },
+        });
+    }
+
+    let att_ptr = SendPtr::new(att.data_mut());
+    let gated_ptr = gated.as_mut().map(|g| SendPtr::new(g.data_mut()));
+    let lse_ptr = SendPtr::new(lse.data_mut());
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let gd = gate.map(|g| g.data());
+    let qb_per_mat = s_q.div_ceil(FLASH_Q_BLOCK);
+    let n_tasks = batch * qb_per_mat;
+    let task_cost = FLASH_Q_BLOCK.min(s_q) * s_k * (2 * d + 8);
+    parallel_for(n_tasks, task_cost, |range| {
+        let mut logits_tile = [0.0f32; FLASH_TILE];
+        scratch::with_scratch(d * s_k, |kt| {
+            // K^T pack is reused across the row blocks of one batch
+            // element; consecutive items usually share it.
+            let mut packed_for = usize::MAX;
+            for item in range {
+                let b = item / qb_per_mat;
+                let i0 = (item % qb_per_mat) * FLASH_Q_BLOCK;
+                let i1 = (i0 + FLASH_Q_BLOCK).min(s_q);
+                let q_base = b * s_q * d;
+                let kv_base = b * s_k * d;
+                if packed_for != b {
+                    for j in 0..s_k {
+                        let krow = &kd[kv_base + j * d..kv_base + (j + 1) * d];
+                        for (kk, &kv) in krow.iter().enumerate() {
+                            kt[kk * s_k + j] = kv;
+                        }
+                    }
+                    packed_for = b;
+                }
+                for i in i0..i1 {
+                    let qrow = &qd[q_base + i * d..q_base + (i + 1) * d];
+                    // SAFETY: each item owns its block of output rows.
+                    let orow = unsafe { att_ptr.slice_mut(q_base + i * d, d) };
+                    let mut state = OnlineSoftmax::new();
+                    let mut j0 = 0usize;
+                    while j0 < s_k {
+                        let j1 = (j0 + FLASH_TILE).min(s_k);
+                        let tile = j1 - j0;
+                        // Tile logits: q · k_j, accumulated lane-parallel
+                        // over the tile from the packed K^T rows.
+                        let lt = &mut logits_tile[..tile];
+                        lt.fill(0.0);
+                        for (kk, &qv) in qrow.iter().enumerate() {
+                            let ktrow = &kt[kk * s_k + j0..kk * s_k + j1];
+                            for (l, &kv) in lt.iter_mut().zip(ktrow.iter()) {
+                                *l += qv * kv;
+                            }
+                        }
+                        // Scale + pair bias + mask folded into the tile —
+                        // the logits matrix is never materialized.
+                        for (t, l) in lt.iter_mut().enumerate() {
+                            let mut val = *l * scale;
+                            if let Some(rd) = bias_rd.as_ref() {
+                                val += rd.at(b, i, j0 + t);
+                            }
+                            if let Some(rd) = mask_rd.as_ref() {
+                                if rd.at(b, i, j0 + t) == 0.0 {
+                                    val += MASK_NEG;
+                                }
+                            }
+                            *l = val;
+                        }
+                        let vals = &vd[kv_base + j0 * d..kv_base + j1 * d];
+                        state.fold_tile(&logits_tile[..tile], vals, orow);
+                        j0 = j1;
+                    }
+                    state.finish(orow);
+                    // SAFETY: one lse slot per row, owned by this item.
+                    let lse_slot = unsafe { lse_ptr.slice_mut(b * s_q + i, 1) };
+                    lse_slot[0] = state.logsumexp();
+                    // Sigmoid-gate epilogue, fused while the output row is
+                    // hot (pre-gate row kept for the backward pass).
+                    if let (Some(gp), Some(gdat)) = (gated_ptr.as_ref(), gd) {
+                        // SAFETY: same row ownership as `orow`.
+                        let grow = unsafe { gp.slice_mut(q_base + i * d, d) };
+                        let gsrc = &gdat[q_base + i * d..q_base + (i + 1) * d];
+                        for ((o, &a), &g) in grow.iter_mut().zip(orow.iter()).zip(gsrc.iter()) {
+                            *o = a / (1.0 + vexp(-g));
+                        }
+                    }
+                }
+            }
+        });
+    });
+    Ok(match gated {
+        Some(g) => FusedAttention { out: g, att: Some(att), lse },
+        None => FusedAttention { out: att, att: None, lse },
+    })
+}
+
 /// Fused FlashAttention-style attention with pair bias.
 ///
 /// Tiles over the key axis in blocks of [`FLASH_TILE`], maintaining the
@@ -119,130 +354,170 @@ pub fn flash_attention(
     bias: Option<&Tensor>,
     scale: f32,
 ) -> Result<Tensor> {
-    let (batch, s_q, s_k, d) = check_qkv(q, k, v)?;
-    let bias_strides = match bias {
-        Some(b) => {
-            let logits_shape = check_bias(q, s_q, s_k, b)?;
-            Some(broadcast_strides(b.shape(), &logits_shape))
+    let _sp = sf_trace::span("kernel", "flash_attention");
+    Ok(flash_core(q, k, v, bias, None, None, scale)?.out)
+}
+
+/// The fully fused attention head — the CPU analogue of ScaleFold's custom
+/// Triton kernel: `sigmoid(gate) ⊙ softmax(q @ k^T · scale + bias + maskneg) @ v`
+/// in one pass over the key tiles. Scale, pair bias, mask penalty, and the
+/// sigmoid-gate epilogue are folded into the tile loop, so neither the
+/// logits nor the bias+mask sum is ever materialized as a tensor. Per-row
+/// log-sum-exp statistics are saved for the matching fused backward.
+///
+/// - `bias`/`mask` (optional) must broadcast to `[batch..., S_q, S_k]`;
+///   mask entries equal to zero add [`MASK_NEG`] to the logit. The mask is
+///   a non-differentiable input.
+/// - `gate` (optional) must match the output shape exactly.
+///
+/// # Errors
+///
+/// Returns an error on any shape incompatibility.
+pub fn attention_fused(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    bias: Option<&Tensor>,
+    mask: Option<&Tensor>,
+    gate: Option<&Tensor>,
+    scale: f32,
+) -> Result<FusedAttention> {
+    let _sp = sf_trace::span("kernel", "attention_fused");
+    flash_core(q, k, v, bias, mask, gate, scale)
+}
+
+/// Fused backward for [`attention_fused`]: softmax-backward is folded into
+/// the attention gradient instead of running as a standalone op, and the
+/// probability tensor is **recomputed in a single pass** from the saved
+/// per-row log-sum-exp (`p = exp(scale·qkᵀ + bias + maskneg − lse)`) rather
+/// than re-running the three-pass softmax or storing `[S_q, S_k]` floats
+/// from the forward.
+///
+/// Uses the FlashAttention `D`-trick: the softmax-backward row reduction
+/// `D_i = Σ_j p_ij·dp_ij` equals `datt_i · att_i`, so it comes from the
+/// *saved output* instead of another pass over the probabilities.
+///
+/// `att` is the **pre-gate** forward output ([`FusedAttention::pre_gate`]),
+/// `dy` the gradient of the (gated) output.
+///
+/// # Errors
+///
+/// Returns an error on any shape incompatibility.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_fused_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    bias: Option<&Tensor>,
+    mask: Option<&Tensor>,
+    gate: Option<&Tensor>,
+    att: &Tensor,
+    lse: &Tensor,
+    scale: f32,
+    dy: &Tensor,
+) -> Result<FusedAttentionGrads> {
+    let _sp = sf_trace::span("kernel", "attention_fused_bwd");
+    let (batch, s_q, s_k, _d) = check_qkv(q, k, v)?;
+
+    // Gate epilogue backward: datt = dy ⊙ σ(g); dgate = dy ⊙ att ⊙ σ(g)(1−σ(g)).
+    let (datt, dgate) = match gate {
+        Some(g) => {
+            let mut datt = Tensor::zeros(dy.dims());
+            let mut dgate = Tensor::zeros(g.dims());
+            let n = dy.len();
+            let datt_ptr = SendPtr::new(datt.data_mut());
+            let dgate_ptr = SendPtr::new(dgate.data_mut());
+            let (dyd, gd, attd) = (dy.data(), g.data(), att.data());
+            parallel_for(n, 6, |range| {
+                let lo = range.start;
+                let len = range.end - range.start;
+                // SAFETY: element ranges from parallel_for are disjoint.
+                let da = unsafe { datt_ptr.slice_mut(lo, len) };
+                let dg = unsafe { dgate_ptr.slice_mut(lo, len) };
+                for off in 0..len {
+                    let i = lo + off;
+                    let sig = 1.0 / (1.0 + vexp(-gd[i]));
+                    da[off] = dyd[i] * sig;
+                    dg[off] = dyd[i] * attd[i] * sig * (1.0 - sig);
+                }
+            });
+            (datt, Some(dgate))
         }
-        None => None,
+        None => (dy.clone(), None),
     };
-    let mut out_dims = q.dims().to_vec();
-    *out_dims.last_mut().expect("rank >= 2") = d;
-    let mut out = Tensor::zeros(&out_dims);
-    if batch == 0 || s_q == 0 {
-        return Ok(out);
-    }
 
-    // Bias strides are aligned to the full logits shape
-    // [batch..., s_q, s_k]; precompute each flattened batch element's base
-    // offset so rows can be processed in any order (and on any thread).
-    let batch_dims = &q.dims()[..q.rank() - 2];
-    let bias_batch_offs: Option<Vec<usize>> = bias_strides.as_ref().map(|st| {
-        let mut offs = Vec::with_capacity(batch);
-        let mut batch_idx = vec![0usize; batch_dims.len()];
-        for _ in 0..batch {
-            offs.push(
-                batch_idx
-                    .iter()
-                    .zip(st.iter())
-                    .map(|(&i, &s)| i * s)
-                    .sum::<usize>(),
-            );
-            let mut axis = batch_dims.len();
-            while axis > 0 {
-                axis -= 1;
-                batch_idx[axis] += 1;
-                if batch_idx[axis] < batch_dims[axis] {
-                    break;
-                }
-                batch_idx[axis] = 0;
-            }
-        }
-        offs
-    });
-
-    // One work item per (batch, query-row block) — the paper's (batch,
-    // head) parallelization with the row axis split for load balance. Each
-    // item packs its batch element's K transposed into thread-local
-    // scratch, so a tile of logits accumulates *vectorized across the tile
-    // lanes* (the plain q·k dot product is a serial FP chain the compiler
-    // cannot vectorize). Per logit the accumulation still runs over the
-    // head dim in one fixed ascending pass, and each row's tile-by-tile
-    // online-softmax order is fixed, so output is bit-identical for every
-    // thread count.
-    let out_ptr = SendPtr::new(out.data_mut());
-    let (qd, kd, vd) = (q.data(), k.data(), v.data());
-    let qb_per_mat = s_q.div_ceil(FLASH_Q_BLOCK);
-    let n_tasks = batch * qb_per_mat;
-    let task_cost = FLASH_Q_BLOCK.min(s_q) * s_k * (2 * d + 8);
-    parallel_for(n_tasks, task_cost, |range| {
-        let mut logits_tile = [0.0f32; FLASH_TILE];
-        scratch::with_scratch(d * s_k, |kt| {
-            // K^T pack is reused across the row blocks of one batch
-            // element; consecutive items usually share it.
-            let mut packed_for = usize::MAX;
-            for item in range {
-                let b = item / qb_per_mat;
-                let i0 = (item % qb_per_mat) * FLASH_Q_BLOCK;
-                let i1 = (i0 + FLASH_Q_BLOCK).min(s_q);
-                let q_base = b * s_q * d;
-                let kv_base = b * s_k * d;
-                let bias_batch_off = bias_batch_offs.as_ref().map(|offs| offs[b]);
-                if packed_for != b {
-                    for j in 0..s_k {
-                        let krow = &kd[kv_base + j * d..kv_base + (j + 1) * d];
-                        for (kk, &kv) in krow.iter().enumerate() {
-                            kt[kk * s_k + j] = kv;
+    // Recompute probabilities in ONE pass from the saved row stats: the
+    // GEMM gives raw q·kᵀ; scale/bias/mask/−lse/exp fold into a single
+    // in-place sweep (no max scan, no sum pass).
+    let mut p = matmul_bt(q, k)?;
+    let bias_rd = bias.map(|b| logits_bcast(b, q, s_q, s_k, batch)).transpose()?;
+    let mask_rd = mask.map(|m| logits_bcast(m, q, s_q, s_k, batch)).transpose()?;
+    {
+        let rows = batch * s_q;
+        let p_ptr = SendPtr::new(p.data_mut());
+        let lsed = lse.data();
+        parallel_for(rows, s_k * 8, |range| {
+            for r in range {
+                let (b, i) = (r / s_q, r % s_q);
+                let row_lse = lsed[r];
+                // SAFETY: row ranges from parallel_for are disjoint.
+                let row = unsafe { p_ptr.slice_mut(r * s_k, s_k) };
+                for (j, l) in row.iter_mut().enumerate() {
+                    let mut val = *l * scale;
+                    if let Some(rd) = bias_rd.as_ref() {
+                        val += rd.at(b, i, j);
+                    }
+                    if let Some(rd) = mask_rd.as_ref() {
+                        if rd.at(b, i, j) == 0.0 {
+                            val += MASK_NEG;
                         }
                     }
-                    packed_for = b;
-                }
-                for i in i0..i1 {
-                    let qrow = &qd[q_base + i * d..q_base + (i + 1) * d];
-                    // SAFETY: each item owns its block of output rows.
-                    let orow = unsafe { out_ptr.slice_mut(q_base + i * d, d) };
-                    let mut state = OnlineSoftmax::new();
-                    let mut j0 = 0usize;
-                    while j0 < s_k {
-                        let j1 = (j0 + FLASH_TILE).min(s_k);
-                        let tile = j1 - j0;
-                        // Tile logits: q · k_j, accumulated lane-parallel
-                        // over the tile from the packed K^T rows.
-                        let lt = &mut logits_tile[..tile];
-                        lt.fill(0.0);
-                        for (kk, &qv) in qrow.iter().enumerate() {
-                            let ktrow = &kt[kk * s_k + j0..kk * s_k + j1];
-                            for (l, &kv) in lt.iter_mut().zip(ktrow.iter()) {
-                                *l += qv * kv;
-                            }
-                        }
-                        for (t, l) in lt.iter_mut().enumerate() {
-                            let mut val = *l * scale;
-                            if let (Some(bb), Some(off), Some(st)) =
-                                (bias, bias_batch_off, bias_strides.as_ref())
-                            {
-                                let rank = st.len();
-                                let bo =
-                                    off + i * st[rank - 2] + (j0 + t) * st[rank - 1];
-                                val += bb.data()[bo];
-                            }
-                            *l = val;
-                        }
-                        let vals = &vd[kv_base + j0 * d..kv_base + j1 * d];
-                        state.fold_tile(&logits_tile[..tile], vals, orow);
-                        j0 = j1;
-                    }
-                    state.finish(orow);
+                    *l = vexp(val - row_lse);
                 }
             }
         });
-    });
-    Ok(out)
+    }
+
+    let dv = p.matmul_at(&datt)?;
+    // dp, then dlogits = p ⊙ (dp − D) fused in place with the D-trick
+    // rowdot (saves the standalone softmax-backward pass).
+    let mut dp = datt.matmul_bt(v)?;
+    {
+        let rows = batch * s_q;
+        let d = att.dims()[att.rank() - 1];
+        let dp_ptr = SendPtr::new(dp.data_mut());
+        let (pd, dattd, attd) = (p.data(), datt.data(), att.data());
+        parallel_for(rows, s_k * 4 + d * 2, |range| {
+            for r in range {
+                let mut rowdot = 0.0f32;
+                for (da, a) in dattd[r * d..(r + 1) * d]
+                    .iter()
+                    .zip(attd[r * d..(r + 1) * d].iter())
+                {
+                    rowdot += da * a;
+                }
+                // SAFETY: row ranges from parallel_for are disjoint.
+                let dprow = unsafe { dp_ptr.slice_mut(r * s_k, s_k) };
+                for (dl, &pv) in dprow.iter_mut().zip(pd[r * s_k..(r + 1) * s_k].iter()) {
+                    *dl = pv * (*dl - rowdot);
+                }
+            }
+        });
+    }
+
+    let dq = dp.matmul(k)?.mul_scalar(scale);
+    let dk = dp.matmul_at(q)?.mul_scalar(scale);
+    let dbias = match bias {
+        Some(b) => Some(dp.reduce_to(b.dims())?),
+        None => None,
+    };
+    Ok(FusedAttentionGrads { dq, dk, dv, dbias, dgate })
 }
 
 /// Gated attention output: `sigmoid(gate) * attention`, the full AlphaFold
 /// attention head (the gate is another linear projection of the input).
+/// This is the *composed* formulation — [`attention_fused`] computes the
+/// same thing in one kernel.
 ///
 /// # Errors
 ///

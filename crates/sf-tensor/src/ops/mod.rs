@@ -10,3 +10,4 @@ pub mod attention;
 pub mod layernorm;
 pub mod matmul;
 pub mod softmax;
+pub mod vexp;

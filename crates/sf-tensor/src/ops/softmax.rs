@@ -5,6 +5,7 @@
 //! The row loop runs on the parallel CPU backend ([`crate::pool`]); rows
 //! are independent, so output is bit-identical for every thread count.
 
+use crate::ops::vexp::{striped_max, vexp, vexp_shift_sum};
 use crate::pool::{parallel_for, SendPtr};
 use crate::{Result, Tensor, TensorError};
 
@@ -62,14 +63,12 @@ pub fn masked_softmax(x: &Tensor, mask: &Tensor) -> Result<Tensor> {
     softmax(&x.add(&neg)?)
 }
 
-/// In-place three-pass softmax on a single row.
+/// In-place three-pass softmax on a single row. All three passes run
+/// 8 lanes wide: striped max scan, [`vexp_shift_sum`] (vectorized exp with
+/// a fixed-order striped sum), then the scale pass.
 pub fn softmax_row(row: &mut [f32]) {
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
+    let max = striped_max(row);
+    let sum = vexp_shift_sum(row, max);
     let inv = 1.0 / sum;
     for v in row.iter_mut() {
         *v *= inv;
@@ -111,7 +110,7 @@ impl OnlineSoftmax {
     pub fn fold_tile(&mut self, logits: &[f32], values: &[f32], acc: &mut [f32]) {
         let d = acc.len();
         debug_assert_eq!(values.len(), logits.len() * d);
-        let tile_max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let tile_max = striped_max(logits);
         let new_max = self.max.max(tile_max);
         if new_max == f32::NEG_INFINITY {
             return;
@@ -124,20 +123,31 @@ impl OnlineSoftmax {
             let scale = if self.max == f32::NEG_INFINITY {
                 0.0
             } else {
-                (self.max - new_max).exp()
+                vexp(self.max - new_max)
             };
             for a in acc.iter_mut() {
                 *a *= scale;
             }
             self.denom *= scale;
         }
-        for (j, &l) in logits.iter().enumerate() {
-            let w = (l - new_max).exp();
-            self.denom += w;
-            let vrow = &values[j * d..(j + 1) * d];
-            for (a, &v) in acc.iter_mut().zip(vrow.iter()) {
-                *a += w * v;
+        // Weights for the whole tile via the 8-lane vexp; denom and `acc`
+        // then accumulate in the same fixed ascending-j order as before,
+        // keeping the fold bit-identical at any thread count.
+        let mut weights = [0.0f32; crate::ops::vexp::LANES];
+        let mut j0 = 0usize;
+        while j0 < logits.len() {
+            let j1 = (j0 + weights.len()).min(logits.len());
+            for (w, &l) in weights.iter_mut().zip(logits[j0..j1].iter()) {
+                *w = vexp(l - new_max);
             }
+            for (j, &w) in (j0..j1).zip(weights.iter()) {
+                self.denom += w;
+                let vrow = &values[j * d..(j + 1) * d];
+                for (a, &v) in acc.iter_mut().zip(vrow.iter()) {
+                    *a += w * v;
+                }
+            }
+            j0 = j1;
         }
         self.max = new_max;
     }

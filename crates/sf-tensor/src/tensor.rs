@@ -249,9 +249,10 @@ impl Tensor {
         self.map(|x| x * s)
     }
 
-    /// Elementwise exponential.
+    /// Elementwise exponential (vectorized polynomial kernel,
+    /// [`crate::ops::vexp`]).
     pub fn exp(&self) -> Self {
-        self.map(f32::exp)
+        self.map(crate::ops::vexp::vexp)
     }
 
     /// Elementwise natural logarithm.
@@ -279,9 +280,10 @@ impl Tensor {
         self.map(|x| x.max(0.0))
     }
 
-    /// Logistic sigmoid.
+    /// Logistic sigmoid (vectorized exp; same formula as the fused
+    /// attention gate epilogue, so composed and fused paths agree).
     pub fn sigmoid(&self) -> Self {
-        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+        self.map(|x| 1.0 / (1.0 + crate::ops::vexp::vexp(-x)))
     }
 
     /// Hyperbolic tangent.
@@ -299,7 +301,8 @@ impl Tensor {
     pub fn gelu_derivative(&self) -> Self {
         self.map(|x| {
             let cdf = 0.5 * (1.0 + erf(x as f64 / std::f64::consts::SQRT_2) as f32);
-            let pdf = (-0.5 * x * x).exp() / (2.0 * std::f32::consts::PI).sqrt();
+            let pdf =
+                crate::ops::vexp::vexp(-0.5 * x * x) / (2.0 * std::f32::consts::PI).sqrt();
             cdf + x * pdf
         })
     }

@@ -98,6 +98,46 @@ fn large_attention_is_bit_identical() {
     identical_across_threads(|| attention::flash_attention(&q, &k, &v, None, scale).unwrap());
 }
 
+#[test]
+fn large_fused_attention_forward_and_backward_are_bit_identical() {
+    let q = Tensor::randn(&[4, 4, 64, 16], 15);
+    let k = Tensor::randn(&[4, 4, 64, 16], 16);
+    let v = Tensor::randn(&[4, 4, 64, 16], 17);
+    let bias = Tensor::randn(&[4, 64, 64], 18);
+    let gate = Tensor::randn(&[4, 4, 64, 16], 19);
+    let mask = Tensor::randn(&[4, 64, 64], 20).map(|x| if x > -0.5 { 1.0 } else { 0.0 });
+    let scale = 0.25;
+
+    let fused = identical_across_threads(|| {
+        attention::attention_fused(&q, &k, &v, Some(&bias), Some(&mask), Some(&gate), scale)
+            .unwrap()
+            .out
+    });
+
+    let fa =
+        attention::attention_fused(&q, &k, &v, Some(&bias), Some(&mask), Some(&gate), scale)
+            .unwrap();
+    let dy = Tensor::randn(fused.dims(), 21);
+    for idx in 0..5 {
+        identical_across_threads(|| {
+            let g = attention::attention_fused_backward(
+                &q,
+                &k,
+                &v,
+                Some(&bias),
+                Some(&mask),
+                Some(&gate),
+                fa.pre_gate(),
+                &fa.lse,
+                scale,
+                &dy,
+            )
+            .unwrap();
+            [g.dq, g.dk, g.dv, g.dbias.unwrap(), g.dgate.unwrap()][idx].clone()
+        });
+    }
+}
+
 // --- Random shapes: the same property over the full shape space,
 // --- including the serial-bypass path, batch broadcast, and 1-D promotion.
 
@@ -176,5 +216,68 @@ proptest! {
         // And the parallel kernel still agrees with the naive reference.
         let naive = attention::naive_attention(&q, &k, &v, bias_ref, scale).unwrap();
         prop_assert!(out.allclose(&naive, 1e-3));
+    }
+
+    #[test]
+    fn fused_attention_bit_identical_any_shape(
+        (b, h, s, d, seed, with_bias, with_mask, with_gate) in
+            (1usize..3, 1usize..3, 1usize..16, 1usize..8, any::<u64>(),
+             any::<bool>(), any::<bool>(), any::<bool>())
+    ) {
+        let q = Tensor::randn(&[b, h, s, d], seed);
+        let k = Tensor::randn(&[b, h, s, d], seed ^ 7);
+        let v = Tensor::randn(&[b, h, s, d], seed ^ 8);
+        let bias = Tensor::randn(&[h, s, s], seed ^ 9);
+        let gate = Tensor::randn(&[b, h, s, d], seed ^ 10);
+        let mask = Tensor::randn(&[h, s, s], seed ^ 11)
+            .map(|x| if x > -0.5 { 1.0 } else { 0.0 });
+        let scale = 1.0 / (d as f32).sqrt();
+        let bias_ref = if with_bias { Some(&bias) } else { None };
+        let mask_ref = if with_mask { Some(&mask) } else { None };
+        let gate_ref = if with_gate { Some(&gate) } else { None };
+
+        let out = identical_across_threads(|| {
+            attention::attention_fused(&q, &k, &v, bias_ref, mask_ref, gate_ref, scale)
+                .unwrap()
+                .out
+        });
+
+        let fa = attention::attention_fused(&q, &k, &v, bias_ref, mask_ref, gate_ref, scale)
+            .unwrap();
+        let dy = Tensor::randn(out.dims(), seed ^ 12);
+        // One closure per returned gradient: the closure contract is a
+        // single tensor, and tiny shapes keep the repeats cheap.
+        for idx in 0..3 {
+            identical_across_threads(|| {
+                let g = attention::attention_fused_backward(
+                    &q, &k, &v, bias_ref, mask_ref, gate_ref,
+                    fa.pre_gate(), &fa.lse, scale, &dy,
+                )
+                .unwrap();
+                [g.dq, g.dk, g.dv][idx].clone()
+            });
+        }
+        if with_bias {
+            identical_across_threads(|| {
+                attention::attention_fused_backward(
+                    &q, &k, &v, bias_ref, mask_ref, gate_ref,
+                    fa.pre_gate(), &fa.lse, scale, &dy,
+                )
+                .unwrap()
+                .dbias
+                .unwrap()
+            });
+        }
+        if with_gate {
+            identical_across_threads(|| {
+                attention::attention_fused_backward(
+                    &q, &k, &v, bias_ref, mask_ref, gate_ref,
+                    fa.pre_gate(), &fa.lse, scale, &dy,
+                )
+                .unwrap()
+                .dgate
+                .unwrap()
+            });
+        }
     }
 }

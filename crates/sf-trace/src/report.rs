@@ -8,8 +8,12 @@
 //! around the loader's own `data_wait` span) are not double-counted, and
 //! only events on the step's own thread count — worker-side `loader` spans
 //! live on other lanes and are reported separately by the viewer.
+//!
+//! `kernel`-category spans (the fused attention family) are folded into
+//! the pass they run in by name — a `_bwd` suffix means `backward`,
+//! anything else `forward` — instead of being dumped into "other".
 
-use crate::{EventKind, Trace, PHASE_CATS};
+use crate::{Event, EventKind, Trace, PHASE_CATS};
 
 /// Number of recognized phases (see [`PHASE_CATS`]).
 pub const N_PHASES: usize = PHASE_CATS.len();
@@ -45,6 +49,25 @@ pub struct PhaseReport {
     pub out_of_step_us: [u64; N_PHASES],
     /// End-to-end wall time covered by the trace, microseconds.
     pub wall_us: u64,
+}
+
+/// Phase bucket a `kernel`-category span belongs to. Backward kernels
+/// carry a `_bwd` name suffix (`attention_fused_bwd`); everything else
+/// (`flash_attention`, `attention_fused`, ...) runs in the forward pass.
+/// Without this mapping, fused-kernel time called outside a phase wrapper
+/// would land in the table's "other" column.
+fn kernel_phase(name: &str) -> &'static str {
+    if name.ends_with("_bwd") {
+        "backward"
+    } else {
+        "forward"
+    }
+}
+
+/// Whether `e` counts toward phase `cat`: either directly by category, or
+/// as a `kernel` span whose name maps to that phase.
+fn matches_phase(e: &Event, cat: &str) -> bool {
+    e.cat == cat || (e.cat == "kernel" && kernel_phase(&e.name) == cat)
 }
 
 /// Sum of interval lengths of the union of `intervals`, clipped to
@@ -84,7 +107,7 @@ impl PhaseReport {
                     .filter(|e| {
                         e.pid == 0
                             && e.tid == step_ev.tid
-                            && e.cat == *cat
+                            && matches_phase(e, cat)
                             && matches!(e.kind, EventKind::Complete { .. })
                             && e.ts_us < hi
                             && e.end_us() > lo
@@ -109,7 +132,7 @@ impl PhaseReport {
         let mut out_of_step_us = [0u64; N_PHASES];
         for (i, cat) in PHASE_CATS.iter().enumerate() {
             for e in trace.events.iter().filter(|e| {
-                e.pid == 0 && e.cat == *cat && matches!(e.kind, EventKind::Complete { .. })
+                e.pid == 0 && matches_phase(e, cat) && matches!(e.kind, EventKind::Complete { .. })
             }) {
                 let (s, ev_end) = (e.ts_us, e.end_us());
                 let inside: u64 = step_spans
@@ -240,6 +263,18 @@ mod tests {
         }
     }
 
+    fn kernel_span(name: &'static str, ts: u64, dur: u64, tid: u32) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            cat: Cow::Borrowed("kernel"),
+            kind: EventKind::Complete { dur_us: dur },
+            ts_us: ts,
+            pid: 0,
+            tid,
+            args: vec![],
+        }
+    }
+
     #[test]
     fn attributes_phases_within_step_window() {
         let t = Trace {
@@ -286,6 +321,42 @@ mod tests {
         };
         let r = PhaseReport::from_trace(&t);
         assert_eq!(r.steps[0].phase_us[1], 0);
+    }
+
+    #[test]
+    fn kernel_spans_attribute_to_forward_and_backward() {
+        // Fused attention kernels outside a phase wrapper must land in
+        // forward/backward by name, not in "other".
+        let t = Trace {
+            events: vec![
+                span("step", 0, 100, 1),
+                kernel_span("attention_fused", 0, 30, 1),
+                kernel_span("attention_fused_bwd", 40, 20, 1),
+            ],
+            dropped: 0,
+        };
+        let r = PhaseReport::from_trace(&t);
+        let s = &r.steps[0];
+        assert_eq!(s.phase_us[1], 30, "forward");
+        assert_eq!(s.phase_us[2], 20, "backward");
+        assert_eq!(s.other_us(), 50);
+    }
+
+    #[test]
+    fn kernel_spans_nested_in_phase_wrappers_do_not_double_count() {
+        // The usual case: attention_fused runs inside the trainer's own
+        // forward span. Interval union keeps the forward column at the
+        // wrapper's width.
+        let t = Trace {
+            events: vec![
+                span("step", 0, 100, 1),
+                span("forward", 0, 60, 1),
+                kernel_span("flash_attention", 10, 20, 1),
+            ],
+            dropped: 0,
+        };
+        let r = PhaseReport::from_trace(&t);
+        assert_eq!(r.steps[0].phase_us[1], 60);
     }
 
     #[test]

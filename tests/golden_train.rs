@@ -9,11 +9,19 @@
 //! 1 and 4 compute threads — any data race or reduction-order change in the
 //! parallel backend shows up here as a trajectory mismatch.
 //!
-//! Regenerate the fixture after an *intentional* numeric change with:
+//! Fixture provenance — regenerate after an *intentional* numeric change
+//! (kernel rewrites, fusion changes, optimizer tweaks) with exactly:
 //!
 //! ```text
 //! SF_REGEN_GOLDEN=1 cargo test -q -p scalefold --test golden_train
 //! ```
+//!
+//! The regen writes `tests/fixtures/golden_train.json` from a 1-thread run
+//! of [`golden_config`] (TrainerConfig::tiny, 1 evoformer block, 0 extra
+//! blocks, loader_workers=1, seed=7, fused kernels on); thread count does
+//! not matter for the values — see above — but 1 keeps regens boring.
+//! Current fixture: regenerated after the fused attention-softmax kernel
+//! family switched the training path to the polynomial `vexp`.
 
 use scalefold::{Trainer, TrainerConfig};
 use sf_trace::json::{self, Value};
