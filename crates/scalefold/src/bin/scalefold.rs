@@ -56,14 +56,21 @@ fn main() -> ExitCode {
         }
     };
     let (args, fused) = extract_no_fused_flag(args);
+    let (args, dap) = match extract_dap_flag(args) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("scalefold: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
-        "train" => parse_num(&args, 1, 20).and_then(|n| train(n, fused)),
+        "train" => parse_num(&args, 1, 20).and_then(|n| train(n, fused, dap)),
         "simulate" => parse_num(&args, 1, 8).and_then(|n| simulate(n as usize)),
         "memory" => parse_num(&args, 1, 8).and_then(|n| memory_report(n as usize)),
         "ladder" => ladder(),
         "figures" => figures(),
-        "faults" => parse_num(&args, 1, 6).and_then(|n| fault_drill(n, fused)),
+        "faults" => parse_num(&args, 1, 6).and_then(|n| fault_drill(n, fused, dap)),
         "tradeoff" => parse_num(&args, 1, 2000).and_then(tradeoff),
         "bench-kernels" => bench_kernels(fused),
         "trace-report" => trace_report(args.get(1).map(String::as_str), fused),
@@ -143,6 +150,34 @@ fn extract_trace_flag(args: Vec<String>) -> Result<(Vec<String>, Option<PathBuf>
     Ok((rest, path))
 }
 
+/// Strips the global `--dap N` / `--dap=N` flag from `args`; returns the
+/// remaining arguments plus the Dynamic Axial Parallelism degree for the
+/// real training commands (`1` = off, the default). Axial-dimension
+/// divisibility is validated where the trainer config is known.
+fn extract_dap_flag(args: Vec<String>) -> Result<(Vec<String>, usize), Box<dyn Error>> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut dap = 1usize;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--dap" {
+            Some(it.next().ok_or("--dap expects a rank count")?)
+        } else if let Some(v) = a.strip_prefix("--dap=") {
+            Some(v.to_string())
+        } else {
+            rest.push(a);
+            None
+        };
+        if let Some(v) = value {
+            let n: usize = v.parse().map_err(|_| format!("invalid DAP rank count '{v}'"))?;
+            if n == 0 {
+                return Err("--dap expects a positive integer".into());
+            }
+            dap = n;
+        }
+    }
+    Ok((rest, dap))
+}
+
 /// Strips the global `--no-fused` flag from `args`; returns the remaining
 /// arguments plus whether the fused attention-softmax-gate kernel stays
 /// enabled (`true` = fused, the default).
@@ -216,6 +251,10 @@ fn help() -> CliResult {
     println!("                      write Chrome trace_event JSON to PATH");
     println!("  --no-fused          use the composed attention op chain instead");
     println!("                      of the fused kernel (A/B and debugging)");
+    println!("  --dap N             shard Evoformer activations across N axial");
+    println!("                      ranks via the real ring collectives (train");
+    println!("                      and faults; the model's n_seq and n_res");
+    println!("                      must divide evenly by N)");
     Ok(())
 }
 
@@ -325,7 +364,7 @@ fn bench_kernels(fused: bool) -> CliResult {
     Ok(())
 }
 
-fn train(steps: u64, fused: bool) -> CliResult {
+fn train(steps: u64, fused: bool, dap: usize) -> CliResult {
     let mut cfg = TrainerConfig::tiny();
     cfg.fused_kernels = fused;
     cfg.model.evoformer_blocks = 1;
@@ -334,12 +373,27 @@ fn train(steps: u64, fused: bool) -> CliResult {
     // pair-stack GEMMs cross the compute backend's dispatch threshold, so a
     // traced run (`--trace`) records the parallel regions too.
     cfg.model.n_res = 32;
-    println!("training the tiny AlphaFold for {steps} steps...");
+    cfg.dap = dap;
+    scalefold::DapGroup::validate_config(&cfg.model, dap)?;
+    if dap > 1 {
+        println!("training the tiny AlphaFold for {steps} steps (DAP-{dap})...");
+    } else {
+        println!("training the tiny AlphaFold for {steps} steps...");
+    }
     let mut trainer = Trainer::new(cfg);
     for r in trainer.train(steps) {
         println!(
             "  step {:>4}  loss {:>8.4}  lDDT-Ca {:.3}  lr {:.2e}",
             r.step, r.loss, r.lddt, r.lr
+        );
+    }
+    let comm = trainer.dap_comm();
+    if dap > 1 {
+        println!(
+            "DAP-{dap} comm: {} all-gather + {} all-to-all elements over {} collectives",
+            comm.all_gather_elements,
+            comm.all_to_all_elements,
+            comm.gathers + comm.switches
         );
     }
     println!("eval (SWA weights): lDDT-Ca {:.3}", trainer.evaluate(3));
@@ -412,13 +466,15 @@ fn figures() -> CliResult {
 /// End-to-end fault drill on the *real* trainer: a permanently poisoned
 /// sample, a NaN-gradient step, and a bit-flipped checkpoint — the run
 /// must survive all three and resume from the newest valid checkpoint.
-fn fault_drill(steps: u64, fused: bool) -> CliResult {
+fn fault_drill(steps: u64, fused: bool, dap: usize) -> CliResult {
     let steps = steps.max(3);
     let mut cfg = TrainerConfig::tiny();
     cfg.fused_kernels = fused;
     cfg.model.evoformer_blocks = 1;
     cfg.model.extra_msa_blocks = 0;
     cfg.dataset_len = 6;
+    cfg.dap = dap;
+    scalefold::DapGroup::validate_config(&cfg.model, dap)?;
 
     let plan = FaultPlan::none()
         .with_worker_panic(1)

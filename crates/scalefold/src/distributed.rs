@@ -10,15 +10,22 @@
 //! - DP-k training on k batches takes the same parameter step as a single
 //!   trainer fed the averaged gradient of those k batches;
 //! - the gradient traffic all-reduced per step is exactly what
-//!   `ClusterSim` prices (`param_elements × bytes`).
+//!   `ClusterSim` prices (`param_elements × bytes`);
+//! - DP composes with Dynamic Axial Parallelism into a DP×DAP grid
+//!   (ScaleFold §3.3): each replica shards its own sample's activations
+//!   across `cfg.dap` axial ranks, while gradients synchronize across the
+//!   data-parallel axis exactly as before.
 
+use crate::dap::{DapGroup, DapStats};
 use crate::trainer::TrainerConfig;
 use sf_autograd::{Graph, ParamStore};
 use sf_cluster::collective::all_reduce_tensors;
 use sf_data::featurize::featurize;
 use sf_data::SyntheticDataset;
-use sf_model::{AlphaFold, FeatureBatch, ModelConfig};
+use sf_faults::{FaultInjector, FaultPlan};
+use sf_model::{AlphaFold, AxialCollectives, FeatureBatch, ModelConfig};
 use sf_optim::{FusedAdamSwa, GradBuckets, Grads};
+use sf_tensor::Tensor;
 
 /// Per-step report of a data-parallel training step.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,13 +34,22 @@ pub struct DpStepReport {
     pub step: u64,
     /// Mean loss across replicas.
     pub mean_loss: f32,
-    /// Global gradient norm after averaging (pre-clip).
+    /// Global gradient norm after averaging (pre-clip; NaN when the step
+    /// was skipped).
     pub grad_norm: f32,
     /// Elements communicated by the ring all-reduce this step.
     pub elements_all_reduced: usize,
+    /// Elements moved by DAP collectives this step, summed over replicas
+    /// (0 when `cfg.dap <= 1`).
+    pub elements_dap: usize,
     /// Maximum parameter divergence across replicas after the step
     /// (should be ~0: the DP contract).
     pub max_replica_divergence: f32,
+    /// True if the optimizer update was skipped because the averaged
+    /// gradients' global norm (or the loss) was non-finite. All replicas
+    /// skip together — the decision is made on the identical averaged
+    /// gradients — so synchrony is preserved.
+    pub skipped: bool,
 }
 
 /// A `k`-replica data-parallel trainer sharing one model architecture.
@@ -45,17 +61,41 @@ pub struct DataParallelTrainer {
     stores: Vec<ParamStore>,
     optimizers: Vec<FusedAdamSwa>,
     step: u64,
+    /// Shared DAP executor: replicas run sequentially on a CPU, so one
+    /// group serves the whole grid and accumulates total traffic.
+    dap_group: Option<DapGroup>,
+    dap_comm: DapStats,
+    injector: FaultInjector,
 }
 
 impl DataParallelTrainer {
     /// Creates `ranks` replicas. Parameters initialize lazily on the first
     /// step (deterministically by name, so all replicas start identical).
+    /// With `cfg.dap > 1` this is a DP×DAP grid of `ranks × cfg.dap`
+    /// simulated devices.
     ///
     /// # Panics
     ///
-    /// Panics if `ranks == 0`.
+    /// Panics if `ranks == 0`, or if `cfg.dap > 1` and the model's axial
+    /// dimensions do not divide evenly across the DAP ranks.
     pub fn new(cfg: TrainerConfig, ranks: usize) -> Self {
+        DataParallelTrainer::with_faults(cfg, ranks, FaultPlan::none())
+    }
+
+    /// Like [`DataParallelTrainer::new`], with a fault schedule:
+    /// NaN-gradient faults fire on replica 0 before the all-reduce, so the
+    /// poison propagates to every replica's averaged gradients — the
+    /// worst-case large-scale failure the skip guard must absorb.
+    pub fn with_faults(cfg: TrainerConfig, ranks: usize, plan: FaultPlan) -> Self {
         assert!(ranks > 0, "need at least one replica");
+        let dap_group = if cfg.dap > 1 {
+            if let Err(msg) = DapGroup::validate_config(&cfg.model, cfg.dap) {
+                panic!("{msg}");
+            }
+            Some(DapGroup::new(cfg.dap))
+        } else {
+            None
+        };
         let model = AlphaFold::new(cfg.model.clone());
         let optimizers = (0..ranks)
             .map(|_| FusedAdamSwa::new(cfg.adam, cfg.swa_decay))
@@ -65,6 +105,9 @@ impl DataParallelTrainer {
             stores: vec![ParamStore::new(); ranks],
             optimizers,
             step: 0,
+            dap_group,
+            dap_comm: DapStats::default(),
+            injector: FaultInjector::new(plan),
             cfg,
         }
     }
@@ -72,6 +115,12 @@ impl DataParallelTrainer {
     /// Number of replicas.
     pub fn ranks(&self) -> usize {
         self.stores.len()
+    }
+
+    /// Cumulative DAP communication over all steps and replicas (zero when
+    /// `cfg.dap <= 1`).
+    pub fn dap_comm(&self) -> DapStats {
+        self.dap_comm
     }
 
     /// A replica's parameter store.
@@ -90,26 +139,50 @@ impl DataParallelTrainer {
     /// configuration.
     pub fn train_step(&mut self, batches: &[FeatureBatch]) -> DpStepReport {
         assert_eq!(batches.len(), self.ranks(), "one batch per replica");
-        // Per-replica forward/backward.
+        // Per-replica forward/backward; each replica shards its own sample
+        // across the DAP axis (the replicas form the DP axis of the grid).
         let ranks = self.ranks();
         let mut per_rank_grads: Vec<Grads> = Vec::with_capacity(ranks);
         let mut mean_loss = 0.0f32;
         let model = &self.model;
+        let dap = self
+            .dap_group
+            .as_ref()
+            .map(|group| group as &dyn AxialCollectives);
         for (store, batch) in self.stores.iter_mut().zip(batches.iter()) {
             let mut g = Graph::new();
             let out = model
-                .forward(&mut g, store, batch)
+                .forward_dap(&mut g, store, batch, dap)
                 .expect("forward on validated batch");
             g.backward(out.loss).expect("scalar loss");
             mean_loss += out.loss_breakdown.total / ranks as f32;
             per_rank_grads.push(g.grads_by_name().expect("bindings"));
+        }
+        let elements_dap = if let Some(group) = &self.dap_group {
+            let step_comm = group.take_stats();
+            self.dap_comm.all_gather_elements += step_comm.all_gather_elements;
+            self.dap_comm.all_to_all_elements += step_comm.all_to_all_elements;
+            self.dap_comm.gathers += step_comm.gathers;
+            self.dap_comm.switches += step_comm.switches;
+            step_comm.total_elements()
+        } else {
+            0
+        };
+        if self.injector.poison_grads_at(self.step) {
+            if let Some(grad) = per_rank_grads[0].values_mut().next() {
+                let mut data = grad.data().to_vec();
+                if let Some(first) = data.first_mut() {
+                    *first = f32::NAN;
+                }
+                *grad = Tensor::from_vec(data, grad.dims()).expect("same shape");
+            }
         }
 
         // Ring all-reduce every gradient tensor across replicas.
         let names: Vec<String> = per_rank_grads[0].keys().cloned().collect();
         let mut elements = 0usize;
         for name in &names {
-            let mut ranks_tensors: Vec<sf_tensor::Tensor> = per_rank_grads
+            let mut ranks_tensors: Vec<Tensor> = per_rank_grads
                 .iter()
                 .map(|g| g[name].clone())
                 .collect();
@@ -120,38 +193,42 @@ impl DataParallelTrainer {
             }
         }
 
-        // Bucketed clipping on the (identical) averaged gradients.
+        // Bucketed clipping on the (identical) averaged gradients; unpack
+        // restores the original tensor shapes. A non-finite global norm
+        // (one replica's poison spreads to every replica through the
+        // all-reduce) is surfaced by `clip` with the gradients untouched.
         let mut buckets = GradBuckets::pack(&per_rank_grads[0], 25 * 1024 * 1024);
         let grad_norm = buckets.clip(self.cfg.clip_norm);
-        let clipped_flat = buckets.unpack();
-        for grads in per_rank_grads.iter_mut() {
-            for (name, flat) in &clipped_flat {
-                let orig = &grads[name];
-                let reshaped = flat
-                    .reshape(orig.dims())
-                    .expect("bucket round-trip preserves element count");
-                grads.insert(name.clone(), reshaped);
+        let finite = mean_loss.is_finite() && grad_norm.is_finite();
+        if finite {
+            let clipped = buckets.unpack();
+            for grads in per_rank_grads.iter_mut() {
+                for (name, t) in &clipped {
+                    grads.insert(name.clone(), t.clone());
+                }
             }
-        }
 
-        // Identical optimizer step on every replica.
-        let lr = self.cfg.schedule.lr_at(self.step);
-        for ((store, opt), grads) in self
-            .stores
-            .iter_mut()
-            .zip(self.optimizers.iter_mut())
-            .zip(per_rank_grads.iter())
-        {
-            opt.step(store, grads, lr);
+            // Identical optimizer step on every replica.
+            let lr = self.cfg.schedule.lr_at(self.step);
+            for ((store, opt), grads) in self
+                .stores
+                .iter_mut()
+                .zip(self.optimizers.iter_mut())
+                .zip(per_rank_grads.iter())
+            {
+                opt.step(store, grads, lr);
+            }
         }
         self.step += 1;
 
         DpStepReport {
             step: self.step,
             mean_loss,
-            grad_norm,
+            grad_norm: if finite { grad_norm } else { f32::NAN },
             elements_all_reduced: elements,
+            elements_dap,
             max_replica_divergence: self.max_divergence(),
+            skipped: !finite,
         }
     }
 
@@ -283,10 +360,8 @@ mod tests {
         }
         let mut buckets = GradBuckets::pack(&grads, 25 * 1024 * 1024);
         buckets.clip(cfg.clip_norm);
-        let clipped = buckets.unpack();
-        for (name, flat) in clipped {
-            let dims = grads[&name].dims().to_vec();
-            grads.insert(name.clone(), flat.reshape(&dims).expect("sized"));
+        for (name, t) in buckets.unpack() {
+            grads.insert(name, t);
         }
         let mut opt = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);
         opt.step(&mut store, &grads, cfg.schedule.lr_at(0));
@@ -307,5 +382,68 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].elements_all_reduced, 0); // no comm at DP-1
         assert_eq!(reports[1].max_replica_divergence, 0.0);
+        assert_eq!(reports[0].elements_dap, 0);
+    }
+
+    /// A DP-2 × DAP-2 grid trains like plain DP-2: the activation sharding
+    /// is numerically transparent, replicas stay synchronized, and the DAP
+    /// traffic is exactly `replicas × analytic volume` per step.
+    #[test]
+    fn dp_dap_grid_matches_plain_dp() {
+        let mut cfg = dp_cfg();
+        cfg.model.n_seq = 4; // divisible by the DAP ranks (dp_test_model uses 3)
+        let mut plain = DataParallelTrainer::new(cfg.clone(), 2);
+        let plain_reports = plain.train(2);
+
+        cfg.dap = 2;
+        let mut grid = DataParallelTrainer::new(cfg.clone(), 2);
+        let grid_reports = grid.train(2);
+
+        let per_step = crate::dap::analytic_comm_volume(&cfg.model, 2);
+        for (p, g) in plain_reports.iter().zip(grid_reports.iter()) {
+            assert!(
+                (p.mean_loss - g.mean_loss).abs() <= 1e-4,
+                "step {}: loss {} vs {}",
+                p.step,
+                p.mean_loss,
+                g.mean_loss
+            );
+            assert!(g.max_replica_divergence < 1e-5);
+            assert_eq!(g.elements_dap, 2 * per_step.total_elements());
+            assert_eq!(p.elements_dap, 0);
+        }
+        let total = grid.dap_comm();
+        assert_eq!(total.gathers, 2 * 2 * per_step.gathers);
+        assert_eq!(total.switches, 2 * 2 * per_step.switches);
+    }
+
+    /// One replica's NaN gradient spreads to every replica through the
+    /// all-reduce; the bucketed clip surfaces the non-finite norm and the
+    /// whole grid skips the update together, leaving weights and synchrony
+    /// intact.
+    #[test]
+    fn poisoned_gradient_skips_update_on_all_replicas() {
+        let cfg = dp_cfg();
+        let plan = FaultPlan::none().with_nan_grad(1);
+        let mut dp = DataParallelTrainer::with_faults(cfg, 2, plan);
+        let r0 = dp.train(1).pop().expect("one report");
+        assert!(!r0.skipped);
+        let before: Vec<(String, Tensor)> = dp
+            .store(0)
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect();
+
+        let r1 = dp.train(1).pop().expect("one report");
+        assert!(r1.skipped, "poisoned step must skip");
+        assert!(r1.grad_norm.is_nan());
+        assert!(r1.max_replica_divergence < 1e-6);
+        for (name, t) in &before {
+            let after = dp.store(0).get(name).expect("param persists");
+            assert_eq!(t.data(), after.data(), "{name} changed on a skipped step");
+        }
+
+        let r2 = dp.train(1).pop().expect("one report");
+        assert!(!r2.skipped, "training resumes after the skip");
     }
 }

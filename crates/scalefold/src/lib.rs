@@ -47,6 +47,7 @@
 
 pub mod baselines;
 pub mod convergence;
+pub mod dap;
 pub mod distributed;
 pub mod experiments;
 pub mod kernel_bench;
@@ -55,6 +56,7 @@ pub mod optimizations;
 pub mod trainer;
 
 pub use convergence::{ConvergenceModel, FinetuneExtension, PretrainSchedule};
+pub use dap::{analytic_comm_volume, DapGroup, DapStats};
 pub use ladder::{ladder_stages, LadderEntry};
 pub use optimizations::{build_graph, OptimizationSet};
 pub use distributed::DataParallelTrainer;

@@ -11,6 +11,7 @@
 //! an `sf_faults::FaultPlan` to drill all of this end to end.
 
 use rand::rngs::StdRng;
+use crate::dap::{DapGroup, DapStats};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sf_autograd::{CheckpointError, Graph, ParamStore};
@@ -20,7 +21,7 @@ use sf_data::SyntheticDataset;
 use sf_faults::{FaultInjector, FaultPlan, FaultyDataset};
 use sf_model::loss::LossBreakdown;
 use sf_model::metrics::lddt_ca;
-use sf_model::{AlphaFold, FeatureBatch, ModelConfig};
+use sf_model::{AlphaFold, AxialCollectives, FeatureBatch, ModelConfig};
 use sf_optim::{clip_by_global_norm, AdamConfig, FusedAdamSwa, LrSchedule};
 use sf_tensor::bf16::Precision;
 use sf_tensor::Tensor;
@@ -72,8 +73,18 @@ pub struct TrainerConfig {
     /// (`false` = `--no-fused`: the composed op chain, for A/B and
     /// debugging). Overrides `model.fused_kernels` when disabled.
     pub fused_kernels: bool,
+    /// Dynamic Axial Parallelism degree (ScaleFold §3.3): shard the
+    /// Evoformer's axial activations across this many simulated ranks,
+    /// moving them with the real ring collectives. `0` or `1` disables
+    /// DAP; the model's `n_seq` and `n_res` must divide evenly.
+    #[serde(default = "default_dap")]
+    pub dap: usize,
     /// RNG seed.
     pub seed: u64,
+}
+
+fn default_dap() -> usize {
+    1
 }
 
 impl TrainerConfig {
@@ -90,6 +101,7 @@ impl TrainerConfig {
                 warmup_steps: 10,
                 decay_after: 10_000,
                 decay_factor: 0.95,
+                decay_every: 10_000,
             },
             swa_decay: 0.99,
             clip_norm: 1.0,
@@ -99,6 +111,7 @@ impl TrainerConfig {
             loader: LoaderKind::NonBlocking,
             num_threads: 0,
             fused_kernels: true,
+            dap: default_dap(),
             seed: 7,
         }
     }
@@ -229,6 +242,8 @@ pub struct Trainer {
     rng: StdRng,
     injector: FaultInjector,
     recovery: Vec<RecoveryEvent>,
+    dap_group: Option<DapGroup>,
+    dap_comm: DapStats,
 }
 
 impl Trainer {
@@ -241,6 +256,12 @@ impl Trainer {
     /// worker panics and stragglers fire inside the data pipeline,
     /// NaN-gradient steps fire in [`Trainer::train_step`]. The run must
     /// survive all of them; inspect [`Trainer::recovery_log`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dap > 1` and the model's axial dimensions do not
+    /// divide evenly across the DAP ranks (see
+    /// [`DapGroup::validate_config`]).
     pub fn with_faults(mut cfg: TrainerConfig, plan: FaultPlan) -> Self {
         if cfg.num_threads > 0 {
             sf_tensor::pool::set_num_threads(cfg.num_threads);
@@ -248,6 +269,14 @@ impl Trainer {
         if !cfg.fused_kernels {
             cfg.model.fused_kernels = false;
         }
+        let dap_group = if cfg.dap > 1 {
+            if let Err(msg) = DapGroup::validate_config(&cfg.model, cfg.dap) {
+                panic!("{msg}");
+            }
+            Some(DapGroup::new(cfg.dap))
+        } else {
+            None
+        };
         let model = AlphaFold::new(cfg.model.clone());
         let optimizer = FusedAdamSwa::new(cfg.adam, cfg.swa_decay);
         let rng = StdRng::seed_from_u64(cfg.seed);
@@ -259,6 +288,8 @@ impl Trainer {
             rng,
             injector: FaultInjector::new(plan),
             recovery: Vec::new(),
+            dap_group,
+            dap_comm: DapStats::default(),
             cfg,
         }
     }
@@ -283,6 +314,13 @@ impl Trainer {
         &self.recovery
     }
 
+    /// Cumulative DAP communication over all steps so far (zero when
+    /// `cfg.dap <= 1`). One step's volume is
+    /// [`crate::dap::analytic_comm_volume`].
+    pub fn dap_comm(&self) -> DapStats {
+        self.dap_comm
+    }
+
     /// Runs one optimization step on `batch`.
     ///
     /// # Panics
@@ -294,10 +332,21 @@ impl Trainer {
         let mut g = Graph::new();
         let out = {
             let _fwd = sf_trace::span("forward", "forward");
+            let dap = self
+                .dap_group
+                .as_ref()
+                .map(|group| group as &dyn AxialCollectives);
             self.model
-                .forward(&mut g, &mut self.store, batch)
+                .forward_dap(&mut g, &mut self.store, batch, dap)
                 .expect("forward pass on validated batch")
         };
+        if let Some(group) = &self.dap_group {
+            let step_comm = group.take_stats();
+            self.dap_comm.all_gather_elements += step_comm.all_gather_elements;
+            self.dap_comm.all_to_all_elements += step_comm.all_to_all_elements;
+            self.dap_comm.gathers += step_comm.gathers;
+            self.dap_comm.switches += step_comm.switches;
+        }
         let mut grads = {
             let _bwd = sf_trace::span("backward", "backward");
             g.backward(out.loss).expect("scalar loss");
@@ -323,13 +372,15 @@ impl Trainer {
         // Non-finite guard: a NaN/Inf loss or gradient (the fp16 blow-up
         // mode at scale) skips the optimizer update instead of destroying
         // the weights. The step still counts so schedules stay aligned
-        // across data-parallel replicas.
+        // across data-parallel replicas. A poisoned gradient surfaces as a
+        // non-finite global norm from `clip_by_global_norm`, which leaves
+        // the gradients untouched in that case — no elementwise pre-scan
+        // needed.
         let _opt = sf_trace::span("optimizer", "optimizer");
-        let finite =
-            out.loss_breakdown.total.is_finite() && grads.values().all(|t| t.data().iter().all(|v| v.is_finite()));
         let lr = self.cfg.schedule.lr_at(self.step);
+        let norm = clip_by_global_norm(&mut grads, self.cfg.clip_norm);
+        let finite = out.loss_breakdown.total.is_finite() && norm.is_finite();
         let grad_norm = if finite {
-            let norm = clip_by_global_norm(&mut grads, self.cfg.clip_norm);
             self.optimizer.step(&mut self.store, &grads, lr);
             norm
         } else {
@@ -639,6 +690,69 @@ mod tests {
         assert_eq!(reports.len(), 3);
         assert_eq!(t.step_count(), 3);
         assert!(reports.iter().all(|r| r.loss.is_finite()));
+    }
+
+    #[test]
+    fn dap_training_matches_unsharded() {
+        // DAP-k training follows the unsharded trajectory for k ∈ {1,2,4},
+        // fused kernels on and off: the forward is bitwise-identical data
+        // movement, so only gradient-accumulation order can drift, and the
+        // per-step losses must agree tightly over several updates.
+        for fused in [true, false] {
+            let mut ref_cfg = fast_cfg();
+            ref_cfg.fused_kernels = fused;
+            let mut reference = Trainer::new(ref_cfg.clone());
+            let ds = SyntheticDataset::new(5, 4);
+            let batch = featurize(&ds.record(0), &ref_cfg.model, 5);
+            let ref_losses: Vec<f32> =
+                (0..3).map(|_| reference.train_step(&batch).loss).collect();
+
+            for k in [2usize, 4] {
+                let mut cfg = ref_cfg.clone();
+                cfg.dap = k;
+                let mut t = Trainer::new(cfg);
+                for (i, want) in ref_losses.iter().enumerate() {
+                    let got = t.train_step(&batch).loss;
+                    assert!(
+                        (got - want).abs() <= 1e-4,
+                        "fused={fused} k={k} step {i}: loss {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dap_comm_accumulates_analytic_volume() {
+        let mut cfg = fast_cfg();
+        cfg.dap = 2;
+        let mut t = Trainer::new(cfg.clone());
+        let ds = SyntheticDataset::new(6, 4);
+        let batch = featurize(&ds.record(0), &cfg.model, 6);
+        let steps = 2;
+        for _ in 0..steps {
+            t.train_step(&batch);
+        }
+        let per_step = crate::dap::analytic_comm_volume(&cfg.model, 2);
+        let total = t.dap_comm();
+        assert_eq!(total.all_gather_elements, steps * per_step.all_gather_elements);
+        assert_eq!(total.all_to_all_elements, steps * per_step.all_to_all_elements);
+        assert_eq!(total.gathers, steps * per_step.gathers);
+        assert_eq!(total.switches, steps * per_step.switches);
+
+        // Without DAP nothing is communicated.
+        let mut plain = Trainer::new(fast_cfg());
+        plain.train_step(&batch);
+        assert_eq!(plain.dap_comm(), DapStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn dap_rejects_uneven_crop() {
+        let mut cfg = fast_cfg();
+        cfg.model.n_res = 13;
+        cfg.dap = 2;
+        let _ = Trainer::new(cfg);
     }
 
     #[test]

@@ -478,6 +478,33 @@ impl Graph {
         Ok(self.push(v, Op::Concat { xs: xs.to_vec(), axis }))
     }
 
+    /// Concatenation along `axis` whose forward value was produced by an
+    /// **external executor** — in practice the output buffer of a real
+    /// collective (the DAP all-gather / all-to-all in `scalefold::dap`).
+    /// The supplied value is verified bitwise against the mathematical
+    /// concatenation before being adopted as the node's value, so the
+    /// tape stays self-consistent and the backward pass (slicing, the
+    /// exact adjoint of concatenation) is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty input, shape mismatch, or if `value`
+    /// differs from the concatenation of the inputs in shape or bytes.
+    pub fn concat_external(&mut self, xs: &[Var], axis: usize, value: Tensor) -> Result<Var> {
+        for &x in xs {
+            self.check(x)?;
+        }
+        let tensors: Vec<&Tensor> = xs.iter().map(|&x| self.value(x)).collect();
+        let expect = Tensor::concat(&tensors, axis)?;
+        if expect.dims() != value.dims() || expect.data() != value.data() {
+            return Err(AutogradError::ExternalValueMismatch {
+                expect_dims: expect.dims().to_vec(),
+                got_dims: value.dims().to_vec(),
+            });
+        }
+        Ok(self.push(value, Op::Concat { xs: xs.to_vec(), axis }))
+    }
+
     /// Broadcast to `dims`.
     ///
     /// # Errors

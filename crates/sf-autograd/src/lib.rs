@@ -68,6 +68,15 @@ pub enum AutogradError {
     },
     /// A named parameter was missing from the store.
     UnknownParam(String),
+    /// An externally-computed node value (e.g. a collective's output
+    /// buffer) did not match the mathematically expected result.
+    ExternalValueMismatch {
+        /// Shape the tape computed for the node.
+        expect_dims: Vec<usize>,
+        /// Shape (or bytes, when shapes agree) the external executor
+        /// supplied.
+        got_dims: Vec<usize>,
+    },
 }
 
 impl fmt::Display for AutogradError {
@@ -81,6 +90,10 @@ impl fmt::Display for AutogradError {
                 write!(f, "backward requires a scalar loss, got shape {dims:?}")
             }
             AutogradError::UnknownParam(name) => write!(f, "unknown parameter {name:?}"),
+            AutogradError::ExternalValueMismatch { expect_dims, got_dims } => write!(
+                f,
+                "external value mismatch: expected shape {expect_dims:?}, got {got_dims:?} (or differing bytes)"
+            ),
         }
     }
 }

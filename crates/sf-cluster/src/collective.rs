@@ -85,52 +85,94 @@ pub fn ring_all_reduce(buffers: &mut [Vec<f32>]) -> CollectiveStats {
     }
 }
 
-/// All-gather: concatenates every rank's shard (in rank order) into each
-/// rank's output.
+/// Ring all-gather: every rank ends with the concatenation of all shards
+/// (in rank order). Runs the actual `n-1`-step ring schedule — each step,
+/// every rank forwards the shard it received last step to its neighbour —
+/// so [`CollectiveStats::elements_sent`] is exactly `n(n-1)·shard_len`,
+/// the `(n-1)` traffic factor priced by
+/// [`crate::FabricSpec::all_gather_s`].
 ///
 /// # Panics
 ///
 /// Panics if shards differ in length.
-pub fn all_gather(shards: &[Vec<f32>]) -> Vec<Vec<f32>> {
+pub fn all_gather(shards: &[Vec<f32>]) -> (Vec<Vec<f32>>, CollectiveStats) {
     let n = shards.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), CollectiveStats::default());
     }
     let len = shards[0].len();
     for s in shards {
         assert_eq!(s.len(), len, "all-gather shards must match in length");
     }
-    let mut full = Vec::with_capacity(n * len);
-    for s in shards {
-        full.extend_from_slice(s);
+    let mut out: Vec<Vec<f32>> = vec![vec![0.0; n * len]; n];
+    for (r, s) in shards.iter().enumerate() {
+        out[r][r * len..(r + 1) * len].copy_from_slice(s);
     }
-    vec![full; n]
+    if n == 1 || len == 0 {
+        return (out, CollectiveStats::default());
+    }
+    let mut sent = 0usize;
+    for step in 0..n - 1 {
+        for rank in 0..n {
+            // Rank forwards shard (rank - step): its own shard on step 0,
+            // then whatever arrived from its predecessor.
+            let c = (rank + n - step) % n;
+            let dst = (rank + 1) % n;
+            let (src_buf, dst_buf) = two_mut(&mut out, rank, dst);
+            dst_buf[c * len..(c + 1) * len].copy_from_slice(&src_buf[c * len..(c + 1) * len]);
+            sent += len;
+        }
+    }
+    (
+        out,
+        CollectiveStats {
+            elements_sent: sent,
+            steps: n - 1,
+        },
+    )
 }
 
 /// All-to-all: rank `r`'s output chunk `c` is rank `c`'s input chunk `r`
-/// (the DAP axis-switch primitive).
+/// (the DAP axis-switch primitive). Chunk boundaries are the same
+/// `c·len/n` split used by [`ring_all_reduce`], so buffers whose length is
+/// not divisible by `n` exchange slightly uneven chunks instead of
+/// panicking. A rank's own chunk never crosses the wire, so
+/// `elements_sent` is exactly `(n-1)·len` — the `(n-1)/n` per-rank factor
+/// priced by [`crate::FabricSpec::all_to_all_s`].
 ///
 /// # Panics
 ///
-/// Panics if any rank's input does not split evenly into `n` chunks.
-pub fn all_to_all(inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+/// Panics if the per-rank buffers differ in length.
+pub fn all_to_all(inputs: &[Vec<f32>]) -> (Vec<Vec<f32>>, CollectiveStats) {
     let n = inputs.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), CollectiveStats::default());
     }
     let len = inputs[0].len();
-    assert!(len.is_multiple_of(n), "all-to-all needs n-divisible buffers");
-    let chunk = len / n;
-    (0..n)
+    for b in inputs {
+        assert_eq!(b.len(), len, "all-to-all buffers must match in length");
+    }
+    let starts: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
+    let mut sent = 0usize;
+    let out = (0..n)
         .map(|r| {
-            let mut out = Vec::with_capacity(len);
+            let mut buf = Vec::with_capacity(len);
             for (c, input) in inputs.iter().enumerate() {
-                let _ = c;
-                out.extend_from_slice(&input[r * chunk..(r + 1) * chunk]);
+                buf.extend_from_slice(&input[starts[r]..starts[r + 1]]);
+                if c != r {
+                    sent += starts[r + 1] - starts[r];
+                }
             }
-            out
+            buf
         })
-        .collect()
+        .collect();
+    (
+        out,
+        CollectiveStats {
+            elements_sent: sent,
+            steps: n.saturating_sub(1),
+        },
+    )
 }
 
 /// Mean all-reduce over per-rank *tensors* (gradient averaging for data
@@ -153,6 +195,53 @@ pub fn all_reduce_tensors(tensors: &mut [Tensor]) -> CollectiveStats {
         t.data_mut().copy_from_slice(&b);
     }
     stats
+}
+
+/// Splits a tensor into `ranks` equal shards along axis 0 (the DAP
+/// scatter). Rows are contiguous in row-major layout, so each shard is a
+/// straight copy of a sub-range of the data.
+///
+/// # Panics
+///
+/// Panics if the tensor is 0-dimensional or `dims[0]` is not divisible by
+/// `ranks`.
+pub fn shard_axis0(t: &Tensor, ranks: usize) -> Vec<Tensor> {
+    let dims = t.dims();
+    assert!(!dims.is_empty(), "cannot shard a scalar");
+    assert!(
+        ranks > 0 && dims[0].is_multiple_of(ranks),
+        "axis 0 ({}) not divisible by {ranks} ranks",
+        dims[0]
+    );
+    let rows = dims[0] / ranks;
+    let stride: usize = dims[1..].iter().product();
+    let mut shard_dims = dims.to_vec();
+    shard_dims[0] = rows;
+    (0..ranks)
+        .map(|r| {
+            let data = t.data()[r * rows * stride..(r + 1) * rows * stride].to_vec();
+            Tensor::from_vec(data, &shard_dims).expect("shard dims match data")
+        })
+        .collect()
+}
+
+/// Concatenates axis-0 shards back into the full tensor (the inverse of
+/// [`shard_axis0`]; what a rank's output looks like after an all-gather).
+///
+/// # Panics
+///
+/// Panics if `shards` is empty or the shards' shapes disagree.
+pub fn unshard_axis0(shards: &[Tensor]) -> Tensor {
+    assert!(!shards.is_empty(), "cannot unshard zero shards");
+    let dims = shards[0].dims().to_vec();
+    let mut data = Vec::with_capacity(shards[0].len() * shards.len());
+    for s in shards {
+        assert_eq!(s.dims(), dims.as_slice(), "shard shapes must match");
+        data.extend_from_slice(s.data());
+    }
+    let mut full_dims = dims;
+    full_dims[0] *= shards.len();
+    Tensor::from_vec(data, &full_dims).expect("unshard dims match data")
 }
 
 fn two_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
@@ -234,23 +323,53 @@ mod tests {
     #[test]
     fn all_gather_concatenates_in_rank_order() {
         let shards = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
-        let out = all_gather(&shards);
+        let (out, stats) = all_gather(&shards);
         assert_eq!(out.len(), 3);
         for o in &out {
             assert_eq!(o, &vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         }
+        // Ring schedule: n(n-1) shard-sized sends over n-1 steps.
+        assert_eq!(stats.elements_sent, 3 * 2 * 2);
+        assert_eq!(stats.steps, 2);
     }
 
     #[test]
     fn all_to_all_is_a_transpose() {
         // 2 ranks, chunks of 2.
         let inputs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
-        let out = all_to_all(&inputs);
+        let (out, stats) = all_to_all(&inputs);
         assert_eq!(out[0], vec![1.0, 2.0, 5.0, 6.0]);
         assert_eq!(out[1], vec![3.0, 4.0, 7.0, 8.0]);
+        // Own chunks stay local: (n-1)/n of the total volume moves.
+        assert_eq!(stats.elements_sent, 4);
         // Applying it twice restores the input.
-        let back = all_to_all(&out);
+        let (back, _) = all_to_all(&out);
         assert_eq!(back, inputs);
+    }
+
+    #[test]
+    fn all_to_all_handles_uneven_chunks() {
+        // len 5 over 3 ranks: boundaries 0,1,3,5 (the c*len/n split).
+        let inputs: Vec<Vec<f32>> = (0..3)
+            .map(|r| (0..5).map(|i| (10 * r + i) as f32).collect())
+            .collect();
+        let (out, stats) = all_to_all(&inputs);
+        assert_eq!(out[0], vec![0.0, 10.0, 20.0]); // chunk [0,1) of each rank
+        assert_eq!(out[1], vec![1.0, 2.0, 11.0, 12.0, 21.0, 22.0]);
+        assert_eq!(out[2], vec![3.0, 4.0, 13.0, 14.0, 23.0, 24.0]);
+        // Everything except own chunks crosses the wire: (n-1)*len.
+        assert_eq!(stats.elements_sent, 2 * 5);
+    }
+
+    #[test]
+    fn shard_unshard_round_trip() {
+        let t = Tensor::randn(&[6, 3, 2], 42);
+        let shards = shard_axis0(&t, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].dims(), &[2, 3, 2]);
+        let back = unshard_axis0(&shards);
+        assert_eq!(back.dims(), t.dims());
+        assert_eq!(back.data(), t.data());
     }
 
     #[test]

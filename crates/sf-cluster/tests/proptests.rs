@@ -36,31 +36,93 @@ proptest! {
         }
     }
 
-    /// All-to-all is an involution (applying twice restores inputs).
+    /// Ring all-reduce sends exactly `2(n-1)·len` elements in total — the
+    /// `2(n-1)/n` per-rank traffic factor priced by
+    /// `FabricSpec::all_reduce_s` — even when `len` is not divisible by
+    /// `n` (uneven chunks) or there are more ranks than elements (some
+    /// chunks empty).
+    #[test]
+    fn ring_all_reduce_traffic_is_exact(
+        n in 2usize..10,
+        len in 1usize..64,
+        seed in any::<u32>(),
+    ) {
+        let mut buffers: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..len).map(|i| (seed as usize + r * 3 + i) as f32 * 0.01).collect())
+            .collect();
+        let stats = ring_all_reduce(&mut buffers);
+        // Each of the len elements traverses the ring n-1 times per phase,
+        // regardless of how the chunk boundaries fall.
+        prop_assert_eq!(stats.elements_sent, 2 * (n - 1) * len);
+        prop_assert_eq!(stats.steps, 2 * (n - 1));
+        // Cross-check against the analytic bandwidth term: per-rank bytes
+        // at unit element size is 2(n-1)/n · len.
+        let per_rank = stats.elements_sent as f64 / n as f64;
+        let analytic = 2.0 * (n as f64 - 1.0) / n as f64 * len as f64;
+        prop_assert!((per_rank - analytic).abs() < 1e-9, "{per_rank} vs {analytic}");
+    }
+
+    /// All-to-all is an involution (applying twice restores inputs) when
+    /// buffers split evenly.
     #[test]
     fn all_to_all_involution(n in 1usize..8, chunk in 1usize..8, seed in any::<u32>()) {
         let inputs: Vec<Vec<f32>> = (0..n)
             .map(|r| (0..n * chunk).map(|i| (seed as usize + r * 13 + i) as f32).collect())
             .collect();
-        let once = all_to_all(&inputs);
-        let twice = all_to_all(&once);
+        let (once, _) = all_to_all(&inputs);
+        let (twice, _) = all_to_all(&once);
         prop_assert_eq!(twice, inputs);
     }
 
-    /// All-gather outputs are identical across ranks and contain every
-    /// shard in order.
+    /// All-to-all at lengths *not* divisible by the rank count (including
+    /// ranks > length): outputs match the direct chunk-transpose built
+    /// from the canonical `c·len/n` boundaries, and exactly `(n-1)·len`
+    /// elements cross the wire — the `(n-1)/n` per-rank factor priced by
+    /// `FabricSpec::all_to_all_s`.
+    #[test]
+    fn all_to_all_uneven_matches_direct_transpose(
+        n in 2usize..9,
+        len in 0usize..20,
+        seed in any::<u32>(),
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..len).map(|i| (seed as usize + r * 17 + i) as f32).collect())
+            .collect();
+        let (out, stats) = all_to_all(&inputs);
+        let starts: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
+        for r in 0..n {
+            let direct: Vec<f32> = inputs
+                .iter()
+                .flat_map(|input| input[starts[r]..starts[r + 1]].to_vec())
+                .collect();
+            prop_assert_eq!(&out[r], &direct, "rank {} mismatch", r);
+        }
+        prop_assert_eq!(stats.elements_sent, (n - 1) * len);
+    }
+
+    /// All-gather outputs are identical across ranks, contain every shard
+    /// in order, and the ring schedule moves exactly `n(n-1)·shard_len`
+    /// elements — the `(n-1)` per-rank factor of
+    /// `FabricSpec::all_gather_s` — for any shard length (including shards
+    /// shorter than the rank count).
     #[test]
     fn all_gather_uniform_outputs(n in 1usize..8, len in 0usize..16, seed in any::<u32>()) {
         let shards: Vec<Vec<f32>> = (0..n)
             .map(|r| (0..len).map(|i| (seed as usize + r * 7 + i) as f32).collect())
             .collect();
-        let out = all_gather(&shards);
+        let (out, stats) = all_gather(&shards);
         prop_assert_eq!(out.len(), n);
         for o in &out {
             prop_assert_eq!(o.len(), n * len);
             for (r, shard) in shards.iter().enumerate() {
                 prop_assert_eq!(&o[r * len..(r + 1) * len], shard.as_slice());
             }
+        }
+        if n > 1 && len > 0 {
+            prop_assert_eq!(stats.elements_sent, n * (n - 1) * len);
+            prop_assert_eq!(stats.steps, n - 1);
+        } else {
+            prop_assert_eq!(stats.elements_sent, 0);
         }
     }
 

@@ -25,6 +25,7 @@
 //! `sf_tensor::pool::set_num_threads`, and results are bit-identical at
 //! every thread count, so Evoformer outputs do not depend on parallelism.
 
+use crate::dap::{dap_all_gather, dap_axis_switch, dap_scatter, AxialCollectives};
 use crate::linear::{batched_apply, layer_norm, Linear};
 use sf_autograd::{Graph, ParamStore, Result, Var};
 
@@ -141,6 +142,207 @@ pub fn evoformer_block_ext(
     let z = triangle_attention(g, store, dims, &format!("{prefix}.tri_att_end"), z, false)?;
     let z = trans(g, store, dims.c_z, dims.transition_factor, &format!("{prefix}.pair_trans"), z)?;
     Ok((m, z))
+}
+
+/// [`evoformer_block`] under **Dynamic Axial Parallelism** (ScaleFold
+/// §3.3 / FastFold): the four axial attentions run on activation shards —
+/// MSA row attention sharded along sequences, MSA column and triangle
+/// attention along residues — with the sharded axis switched by the
+/// injected executor's all-to-all and results rejoined by its all-gather.
+/// The remaining modules (transitions, outer product mean, triangle
+/// multiplication) run replicated, as their cost does not grow with the
+/// axial length being sharded here.
+///
+/// With `dropout = 0` the output is bitwise-identical to
+/// [`evoformer_block`] for any rank count: every sharded kernel (LN, the
+/// bundled QKV-gate GEMM, attention) is row-independent, and all data
+/// movement enters the tape through the verified external concat. Under
+/// dropout the per-shard masks are rank-salted, so DAP-k > 1 is a
+/// *different but equally valid* sample of the dropout noise.
+///
+/// # Panics
+///
+/// Panics if the sequence or residue axis is not divisible by the rank
+/// count.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying tensor ops and external
+/// value mismatches from the collective executor.
+#[allow(clippy::too_many_arguments)]
+pub fn evoformer_block_dap(
+    g: &mut Graph,
+    store: &mut ParamStore,
+    dims: &BlockDims,
+    prefix: &str,
+    m: Var,
+    z: Var,
+    ckpt: bool,
+    dap: &dyn AxialCollectives,
+) -> Result<(Var, Var)> {
+    let trans = if ckpt { transition_checkpointed } else { transition };
+    let m = dap_msa_attention(g, store, dims, prefix, m, z, dap)?;
+    let m = trans(g, store, dims.c_m, dims.transition_factor, &format!("{prefix}.msa_trans"), m)?;
+    let z = outer_product_mean(g, store, dims, &format!("{prefix}.opm"), m, z)?;
+    let z = triangle_multiplication(g, store, dims, &format!("{prefix}.tri_mul_out"), z, true)?;
+    let z = triangle_multiplication(g, store, dims, &format!("{prefix}.tri_mul_in"), z, false)?;
+    let z = dap_triangle_attention(g, store, dims, prefix, z, dap)?;
+    let z = trans(g, store, dims.c_z, dims.transition_factor, &format!("{prefix}.pair_trans"), z)?;
+    Ok((m, z))
+}
+
+/// Modules 1 + 2 under DAP: row attention on sequence shards, one axis
+/// switch, column attention on residue shards, one all-gather back to the
+/// replicated `[S, R, c_m]` layout for the (unsharded) MSA transition.
+fn dap_msa_attention(
+    g: &mut Graph,
+    store: &mut ParamStore,
+    dims: &BlockDims,
+    prefix: &str,
+    m: Var,
+    z: Var,
+    dap: &dyn AxialCollectives,
+) -> Result<Var> {
+    let k = dap.ranks();
+    let row_prefix = format!("{prefix}.msa_row");
+    let col_prefix = format!("{prefix}.msa_col");
+    // The pair bias is shared by every rank's row attention (it indexes
+    // residues only), so it is computed once from the replicated z.
+    let z_ln = layer_norm(g, store, &format!("{row_prefix}.ln_z"), dims.c_z, z)?;
+    let bias_rr = Linear::no_bias(format!("{row_prefix}.pair_bias"), dims.c_z, dims.msa_heads)
+        .apply(g, store, z_ln)?;
+    let bias = g.permute(bias_rr, &[2, 0, 1])?;
+
+    // Row attention on sequence shards [S/k, R, c_m]. Parameter prefixes
+    // are identical across ranks: each rank binds the same weights, and
+    // `grads_by_name` sums the per-rank weight gradients — the same
+    // reduction DAP performs over its gradient all-reduce.
+    let m_shards = dap_scatter(g, m, k)?;
+    let mut row_out = Vec::with_capacity(k);
+    for (rank, &sh) in m_shards.iter().enumerate() {
+        let m_ln = layer_norm(g, store, &format!("{row_prefix}.ln_m"), dims.c_m, sh)?;
+        let att = gated_axis_attention(
+            g,
+            store,
+            &row_prefix,
+            m_ln,
+            Some(bias),
+            dims.c_m,
+            dims.msa_heads,
+            dims.c_hidden_msa,
+            dims.fused,
+        )?;
+        row_out.push(dropout_residual_ranked(g, dims, &row_prefix, rank, sh, att)?);
+    }
+
+    // Axis switch: sequence-sharded -> residue-sharded [R/k, S, c_m].
+    let col_shards = dap_axis_switch(g, dap, &row_out)?;
+    let mut col_out = Vec::with_capacity(k);
+    for &sh in &col_shards {
+        let ln = layer_norm(g, store, &format!("{col_prefix}.ln"), dims.c_m, sh)?;
+        let att = gated_axis_attention(
+            g,
+            store,
+            &col_prefix,
+            ln,
+            None,
+            dims.c_m,
+            dims.msa_heads,
+            dims.c_hidden_msa,
+            dims.fused,
+        )?;
+        // Column attention has no dropout in the unsharded path either.
+        col_out.push(g.add(sh, att)?);
+    }
+    let full = dap_all_gather(g, dap, &col_out)?; // [R, S, c_m]
+    g.permute(full, &[1, 0, 2])
+}
+
+/// Modules 7 + 8 under DAP: starting-node attention on row shards of the
+/// pair tensor, one axis switch to the transposed layout, an all-gather
+/// (the ending-node LayerNorm and triangle bias need the full transposed
+/// tensor), ending-node attention on shards, and a final gather +
+/// transpose back.
+fn dap_triangle_attention(
+    g: &mut Graph,
+    store: &mut ParamStore,
+    dims: &BlockDims,
+    prefix: &str,
+    z: Var,
+    dap: &dyn AxialCollectives,
+) -> Result<Var> {
+    let k = dap.ranks();
+    let start_p = format!("{prefix}.tri_att_start");
+    let end_p = format!("{prefix}.tri_att_end");
+
+    // Starting node: shard along the first residue axis.
+    let z_ln = layer_norm(g, store, &format!("{start_p}.ln"), dims.c_z, z)?;
+    let bias_rr = Linear::no_bias(format!("{start_p}.tri_bias"), dims.c_z, dims.pair_heads)
+        .apply(g, store, z_ln)?;
+    let bias = g.permute(bias_rr, &[2, 0, 1])?;
+    let ln_shards = dap_scatter(g, z_ln, k)?;
+    let z_shards = dap_scatter(g, z, k)?;
+    let mut start_out = Vec::with_capacity(k);
+    for rank in 0..k {
+        let att = gated_axis_attention(
+            g,
+            store,
+            &start_p,
+            ln_shards[rank],
+            Some(bias),
+            dims.c_z,
+            dims.pair_heads,
+            dims.c_hidden_pair,
+            dims.fused,
+        )?;
+        start_out.push(dropout_residual_ranked(g, dims, &start_p, rank, z_shards[rank], att)?);
+    }
+
+    // Switch to the transposed layout, then gather: the ending-node bias
+    // is a function of the full transposed pair tensor.
+    let end_in = dap_axis_switch(g, dap, &start_out)?; // [R/k, R, c_z], transposed
+    let zp = dap_all_gather(g, dap, &end_in)?; // [R, R, c_z], transposed
+    let zp_ln = layer_norm(g, store, &format!("{end_p}.ln"), dims.c_z, zp)?;
+    let bias2_rr = Linear::no_bias(format!("{end_p}.tri_bias"), dims.c_z, dims.pair_heads)
+        .apply(g, store, zp_ln)?;
+    let bias2 = g.permute(bias2_rr, &[2, 0, 1])?;
+    let ln2_shards = dap_scatter(g, zp_ln, k)?;
+    let mut end_out = Vec::with_capacity(k);
+    for rank in 0..k {
+        let att = gated_axis_attention(
+            g,
+            store,
+            &end_p,
+            ln2_shards[rank],
+            Some(bias2),
+            dims.c_z,
+            dims.pair_heads,
+            dims.c_hidden_pair,
+            dims.fused,
+        )?;
+        end_out.push(dropout_residual_ranked(g, dims, &end_p, rank, end_in[rank], att)?);
+    }
+    let zp_out = dap_all_gather(g, dap, &end_out)?;
+    g.permute(zp_out, &[1, 0, 2])
+}
+
+/// [`dropout_residual`] with a rank-salted seed: each DAP rank draws its
+/// own mask, exactly as real per-device dropout would.
+fn dropout_residual_ranked(
+    g: &mut Graph,
+    dims: &BlockDims,
+    prefix: &str,
+    rank: usize,
+    residual: Var,
+    update: Var,
+) -> Result<Var> {
+    let update = if dims.dropout > 0.0 {
+        let seed = seed_from(prefix) ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        g.dropout(update, dims.dropout, seed)?
+    } else {
+        update
+    };
+    g.add(residual, update)
 }
 
 /// A pair-only Evoformer block (modules 5-9), used by the template pair
@@ -749,6 +951,97 @@ mod tests {
         assert!(!g.value(m_wet).allclose(g.value(m_dry), 1e-7));
         assert!(!g.value(z_wet).allclose(g.value(z_dry), 1e-7));
         assert!(!g.value(m_wet).has_non_finite());
+    }
+
+    #[test]
+    fn dap_block_matches_unsharded_bitwise() {
+        // With dropout off, the DAP block must reproduce the unsharded
+        // block exactly (forward values), for every rank count dividing
+        // both axes, fused and composed attention alike.
+        for fused in [true, false] {
+            let cfg = ModelConfig::tiny();
+            let mut dims = BlockDims::main(&cfg);
+            dims.fused = fused;
+            let m0 = Tensor::randn(&[cfg.n_seq, cfg.n_res, cfg.c_m], 5).mul_scalar(0.3);
+            let z0 = Tensor::randn(&[cfg.n_res, cfg.n_res, cfg.c_z], 6).mul_scalar(0.3);
+
+            let mut g_ref = Graph::new();
+            let mut store = ParamStore::new();
+            let m = g_ref.constant(m0.clone());
+            let z = g_ref.constant(z0.clone());
+            let (mr, zr) =
+                evoformer_block(&mut g_ref, &mut store, &dims, "blk", m, z, false).unwrap();
+            let (m_ref, z_ref) = (g_ref.value(mr).clone(), g_ref.value(zr).clone());
+
+            for k in [1usize, 2, 4] {
+                let mut g = Graph::new();
+                let mut store_k = ParamStore::new();
+                let m = g.constant(m0.clone());
+                let z = g.constant(z0.clone());
+                let dap = crate::dap::LocalAxial(k);
+                let (mk, zk) =
+                    evoformer_block_dap(&mut g, &mut store_k, &dims, "blk", m, z, false, &dap)
+                        .unwrap();
+                assert_eq!(
+                    g.value(mk).data(),
+                    m_ref.data(),
+                    "fused={fused} k={k}: MSA track diverged"
+                );
+                assert_eq!(
+                    g.value(zk).data(),
+                    z_ref.data(),
+                    "fused={fused} k={k}: pair track diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dap_block_gradients_match_unsharded() {
+        // Weight gradients accumulate per-rank (summed by name), so they
+        // match the unsharded single-GEMM reduction to fp tolerance.
+        let cfg = ModelConfig::tiny();
+        let dims = BlockDims::main(&cfg);
+        let m0 = Tensor::randn(&[cfg.n_seq, cfg.n_res, cfg.c_m], 8).mul_scalar(0.3);
+        let z0 = Tensor::randn(&[cfg.n_res, cfg.n_res, cfg.c_z], 9).mul_scalar(0.3);
+
+        let run = |k: Option<usize>| {
+            let mut g = Graph::new();
+            let mut store = ParamStore::new();
+            let m = g.constant(m0.clone());
+            let z = g.constant(z0.clone());
+            let (m2, z2) = match k {
+                None => evoformer_block(&mut g, &mut store, &dims, "b", m, z, false).unwrap(),
+                Some(k) => {
+                    let dap = crate::dap::LocalAxial(k);
+                    evoformer_block_dap(&mut g, &mut store, &dims, "b", m, z, false, &dap)
+                        .unwrap()
+                }
+            };
+            // O(1)-scale loss (like the real training losses) so the 1e-5
+            // equivalence tolerance is meaningful.
+            let lm = g.mean_all(m2).unwrap();
+            let lz = g.mean_all(z2).unwrap();
+            let loss = g.add(lm, lz).unwrap();
+            g.backward(loss).unwrap();
+            g.grads_by_name().unwrap()
+        };
+        let g_ref = run(None);
+        for k in [1usize, 2, 4] {
+            let g_k = run(Some(k));
+            assert_eq!(g_ref.len(), g_k.len(), "k={k}: parameter set differs");
+            for (name, gr) in &g_ref {
+                // Elementwise |a-b| <= 1e-5 (+relative): the contract's
+                // tolerance. Differences come only from per-rank gradient
+                // accumulation order (and pure-cancellation residues like
+                // the pair-bias LN beta, whose true gradient is ~0 since a
+                // uniform logit shift leaves softmax invariant).
+                assert!(
+                    gr.allclose(&g_k[name], 1e-5),
+                    "k={k}: gradient mismatch at {name}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! is small enough to *actually train* on a CPU in tests and examples.
 
 pub mod config;
+pub mod dap;
 pub mod embed;
 pub mod evoformer;
 pub mod features;
@@ -44,5 +45,6 @@ pub mod model;
 pub mod structure;
 
 pub use config::ModelConfig;
+pub use dap::{AxialCollectives, LocalAxial};
 pub use features::FeatureBatch;
 pub use model::{AlphaFold, ModelOutput};

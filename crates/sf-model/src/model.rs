@@ -5,7 +5,8 @@ use crate::config::ModelConfig;
 use crate::embed::{
     extra_msa_stack, input_embedder, recycling_embedder, template_pair_stack, RecycledState,
 };
-use crate::evoformer::{evoformer_block, BlockDims};
+use crate::dap::AxialCollectives;
+use crate::evoformer::{evoformer_block, evoformer_block_dap, BlockDims};
 use crate::features::FeatureBatch;
 use crate::loss::{total_loss, LossBreakdown};
 use crate::structure::structure_module;
@@ -83,11 +84,36 @@ impl AlphaFold {
         store: &mut ParamStore,
         batch: &FeatureBatch,
     ) -> Result<ModelOutput> {
+        self.forward_dap(g, store, batch, None)
+    }
+
+    /// [`AlphaFold::forward`] under **Dynamic Axial Parallelism**: when an
+    /// executor is supplied, every main-stack Evoformer block runs as
+    /// [`evoformer_block_dap`] — axial attentions on activation shards,
+    /// axis switches through the executor's real all-to-all / all-gather.
+    /// The extra-MSA and template stacks stay unsharded (their axial
+    /// dimensions are the model's smallest; FastFold likewise applies DAP
+    /// to the main Evoformer). `None` (or a 1-rank executor) reproduces
+    /// the plain forward exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors and collective-executor value
+    /// mismatches.
+    pub fn forward_dap(
+        &self,
+        g: &mut Graph,
+        store: &mut ParamStore,
+        batch: &FeatureBatch,
+        dap: Option<&dyn AxialCollectives>,
+    ) -> Result<ModelOutput> {
         let mut prev: Option<RecycledState> = None;
-        // Warm (no-grad) recycling iterations on throwaway tapes.
+        // Warm (no-grad) recycling iterations on throwaway tapes. DAP
+        // shards these too: every recycling iteration pays the same
+        // communication the final one does.
         for _ in 1..self.cfg.recycle_iters.max(1) {
             let mut warm = Graph::new();
-            let (m, z, coords, _) = self.iteration(&mut warm, store, batch, prev.as_ref())?;
+            let (m, z, coords, _) = self.iteration(&mut warm, store, batch, prev.as_ref(), dap)?;
             let m0 = warm
                 .value(m)
                 .slice_axis(0, 0, 1)?
@@ -99,7 +125,7 @@ impl AlphaFold {
             });
         }
         // Final iteration with gradients.
-        let (m, z, coords, plddt) = self.iteration(g, store, batch, prev.as_ref())?;
+        let (m, z, coords, plddt) = self.iteration(g, store, batch, prev.as_ref(), dap)?;
         let single = {
             // Re-derive the single representation handle for downstream use.
             let m0 = g.slice_axis(m, 0, 0, 1)?;
@@ -125,6 +151,7 @@ impl AlphaFold {
         store: &mut ParamStore,
         batch: &FeatureBatch,
         prev: Option<&RecycledState>,
+        dap: Option<&dyn AxialCollectives>,
     ) -> Result<(Var, Var, Var, Var)> {
         let cfg = &self.cfg;
         let (mut m, mut z) = input_embedder(g, store, cfg, batch)?;
@@ -149,15 +176,20 @@ impl AlphaFold {
 
         let dims = BlockDims::main(cfg);
         for i in 0..cfg.evoformer_blocks {
-            let (m2, z2) = evoformer_block(
-                g,
-                store,
-                &dims,
-                &format!("evoformer.block{i}"),
-                m,
-                z,
-                cfg.gradient_checkpointing,
-            )?;
+            let prefix = format!("evoformer.block{i}");
+            let (m2, z2) = match dap {
+                Some(dap) if dap.ranks() > 1 => evoformer_block_dap(
+                    g,
+                    store,
+                    &dims,
+                    &prefix,
+                    m,
+                    z,
+                    cfg.gradient_checkpointing,
+                    dap,
+                )?,
+                _ => evoformer_block(g, store, &dims, &prefix, m, z, cfg.gradient_checkpointing)?,
+            };
             m = m2;
             z = z2;
         }

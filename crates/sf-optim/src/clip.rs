@@ -26,8 +26,17 @@ pub fn global_norm_naive(grads: &Grads) -> f32 {
 
 /// Clips all gradients in place so the global norm is at most `max_norm`.
 /// Returns the pre-clip norm.
+///
+/// A non-finite norm (NaN/inf gradients) is returned untouched and the
+/// gradients are left unscaled: `max_norm / inf == 0` would silently turn
+/// infinite gradients into NaN, and `norm > max_norm` is false for NaN, so
+/// scaling in either case would corrupt or mask the blow-up. Callers skip
+/// the step when `!norm.is_finite()`.
 pub fn clip_by_global_norm(grads: &mut Grads, max_norm: f32) -> f32 {
     let norm = global_norm_naive(grads);
+    if !norm.is_finite() {
+        return norm;
+    }
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.values_mut() {
@@ -44,8 +53,8 @@ pub fn clip_by_global_norm(grads: &mut Grads, max_norm: f32) -> f32 {
 #[derive(Debug, Clone)]
 pub struct GradBuckets {
     buckets: Vec<Vec<f32>>,
-    /// (name, bucket index, offset, length) for unpacking.
-    layout: Vec<(String, usize, usize, usize)>,
+    /// (name, bucket index, offset, original dims) for unpacking.
+    layout: Vec<(String, usize, usize, Vec<usize>)>,
 }
 
 impl GradBuckets {
@@ -73,7 +82,7 @@ impl GradBuckets {
             let idx = buckets.len() - 1;
             let off = buckets[idx].len();
             buckets[idx].extend_from_slice(g.data());
-            layout.push((name.clone(), idx, off, need));
+            layout.push((name.clone(), idx, off, g.dims().to_vec()));
         }
         GradBuckets { buckets, layout }
     }
@@ -115,23 +124,31 @@ impl GradBuckets {
     }
 
     /// Clips to `max_norm` over the buckets; returns the pre-clip norm.
+    ///
+    /// As with [`clip_by_global_norm`], a non-finite norm leaves the
+    /// buckets unscaled and is returned for the caller to act on.
     pub fn clip(&mut self, max_norm: f32) -> f32 {
         let norm = self.global_norm();
+        if !norm.is_finite() {
+            return norm;
+        }
         if norm > max_norm && norm > 0.0 {
             self.scale(max_norm / norm);
         }
         norm
     }
 
-    /// Unpacks the (possibly scaled) buckets back into a gradient map.
+    /// Unpacks the (possibly scaled) buckets back into a gradient map,
+    /// restoring each gradient's original shape from the layout.
     pub fn unpack(&self) -> Grads {
         let mut out = Grads::new();
-        for (name, idx, off, len) in &self.layout {
-            let data = self.buckets[*idx][*off..*off + *len].to_vec();
-            // Restore as a flat tensor: shape information lives with the
-            // parameter; optimizers only need matching element order. We
-            // keep original length; callers repack by element.
-            out.insert(name.clone(), Tensor::from_vec(data, &[*len]).expect("sized"));
+        for (name, idx, off, dims) in &self.layout {
+            let len: usize = dims.iter().product();
+            let data = self.buckets[*idx][*off..*off + len].to_vec();
+            out.insert(
+                name.clone(),
+                Tensor::from_vec(data, dims).expect("layout dims match packed length"),
+            );
         }
         out
     }
@@ -210,6 +227,19 @@ mod tests {
     }
 
     #[test]
+    fn unpack_restores_original_shapes() {
+        let mut g = Grads::new();
+        g.insert("w".into(), Tensor::randn(&[4, 3], 1));
+        g.insert("b".into(), Tensor::randn(&[3], 2));
+        g.insert("t".into(), Tensor::randn(&[2, 2, 5], 3));
+        let back = GradBuckets::pack(&g, 64).unpack();
+        for (name, orig) in &g {
+            assert_eq!(back[name].dims(), orig.dims(), "shape lost for {name}");
+            assert_eq!(back[name].data(), orig.data());
+        }
+    }
+
+    #[test]
     fn bucketed_clip_matches_naive_clip() {
         let mut g1 = Grads::new();
         for i in 0..10 {
@@ -222,10 +252,48 @@ mod tests {
         b.clip(0.5);
         let unpacked = b.unpack();
         for (name, t) in &g1 {
-            let flat = t.reshape(&[t.len()]).unwrap();
-            assert!(flat.allclose(&unpacked[name], 1e-5), "mismatch at {name}");
+            assert!(t.allclose(&unpacked[name], 1e-5), "mismatch at {name}");
         }
         let _ = &mut g2;
+    }
+
+    fn grads_with(values: &[f32]) -> Grads {
+        let mut g = Grads::new();
+        g.insert("ok".into(), Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        g.insert("bad".into(), Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap());
+        g
+    }
+
+    #[test]
+    fn nan_norm_is_surfaced_and_grads_left_alone() {
+        let mut g = grads_with(&[f32::NAN, 1.0]);
+        let norm = clip_by_global_norm(&mut g, 1.0);
+        assert!(norm.is_nan(), "NaN norm must reach the caller, got {norm}");
+        // The finite gradient must not have been scaled behind our back.
+        assert_eq!(g["ok"].data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn inf_norm_does_not_nan_poison_gradients() {
+        let mut g = grads_with(&[f32::INFINITY, 1.0]);
+        let norm = clip_by_global_norm(&mut g, 1.0);
+        assert_eq!(norm, f32::INFINITY);
+        // Before the fix, scale = max_norm/inf = 0 and inf * 0 = NaN: the
+        // blown-up gradient was silently replaced by NaN.
+        assert_eq!(g["bad"].data()[0], f32::INFINITY);
+        assert_eq!(g["ok"].data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn bucketed_clip_surfaces_non_finite_norm() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let g = grads_with(&[bad, 1.0]);
+            let mut b = GradBuckets::pack(&g, 64);
+            let norm = b.clip(1.0);
+            assert!(!norm.is_finite(), "norm {norm} should be non-finite");
+            let back = b.unpack();
+            assert_eq!(back["ok"].data(), &[3.0, 4.0], "finite grads scaled");
+        }
     }
 
     #[test]

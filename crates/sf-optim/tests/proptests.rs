@@ -141,6 +141,7 @@ proptest! {
             warmup_steps: warmup,
             decay_after: 50_000,
             decay_factor: 0.95,
+            decay_every: 50_000,
         };
         let lr = sched.lr_at(s1);
         prop_assert!(lr >= 0.0 && lr <= peak * 1.0001);

@@ -31,11 +31,11 @@ impl Bf16 {
             // Preserve NaN, force a quiet mantissa bit.
             return Bf16(((bits >> 16) as u16) | 0x0040);
         }
-        // Round to nearest even on the truncated 16 bits.
-        let round_bit = 0x0000_8000u32;
+        // Round to nearest even on the truncated 16 bits: adding
+        // 0x7FFF + lsb carries into bit 16 exactly when the dropped half
+        // is > 0.5 ulp, or == 0.5 ulp with an odd kept lsb.
         let lsb = (bits >> 16) & 1;
         let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
-        let _ = round_bit;
         Bf16((rounded >> 16) as u16)
     }
 
